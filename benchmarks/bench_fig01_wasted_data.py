@@ -1,0 +1,40 @@
+"""Figure 1 — fraction of data fetched into a DRAM cache but never used,
+as a function of the cache-line size (64 B to 4 KB).
+
+The paper reports the average over its benchmarks with a 1 GB DRAM cache:
+0% at 64 B rising to roughly 26% at 4 KB.  The bench sweeps an ideal DRAM
+cache over the same line sizes on the benchmark subset and reports the mean
+wasted-data fraction per line size.
+"""
+
+from repro.baselines.ideal_cache import IdealCache
+from repro.sim.simulator import simulate
+from repro.sim.tables import simple_series_table
+
+from conftest import REFS, SEED, emit, run_once
+
+LINE_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def sweep(runner, workloads):
+    series = {}
+    for line_size in LINE_SIZES:
+        fractions = []
+        for spec in workloads:
+            config = runner.config_for(nm_gb=1)
+            system = IdealCache(config, line_size=line_size)
+            simulate(system, spec, num_references=REFS, seed=SEED)
+            fractions.append(system.wasted_data_fraction())
+        series[line_size] = 100.0 * sum(fractions) / len(fractions)
+    return series
+
+
+def test_fig01_wasted_data_vs_line_size(benchmark, runner, bench_workloads):
+    series = run_once(benchmark, lambda: sweep(runner, bench_workloads))
+    text = simple_series_table(
+        series, "line size (B)", "wasted data (%)",
+        "Figure 1: average % of fetched data never used vs DRAM-cache line size")
+    emit("fig01_wasted_data", text)
+    # The paper's trend: waste grows monotonically (0% at 64 B, ~26% at 4 KB).
+    assert series[64] <= series[256] <= series[4096]
+    assert series[64] < 5.0

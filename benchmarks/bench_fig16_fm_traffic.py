@@ -1,0 +1,34 @@
+"""Figure 16 — far-memory traffic normalised to the no-NM baseline, per MPKI
+class and design (1 GB NM).
+
+Paper landmarks: caches incur the least FM traffic (copying is cheaper than
+swapping); Hybrid2 lands at ~0.67x the baseline on average, between LGM and
+the caches; MemPod/Chameleon are higher.
+"""
+
+from repro.baselines import EVALUATED_DESIGNS
+from repro.sim import metrics
+from repro.sim.tables import class_metric_table
+
+from conftest import emit, run_once
+
+
+def collect(main_sweep):
+    per_design = {}
+    for design in EVALUATED_DESIGNS:
+        values = main_sweep.per_workload_metric(
+            design,
+            lambda result, baseline: max(
+                metrics.normalised_traffic(result, baseline, "fm"), 1e-6))
+        per_design[design] = metrics.group_by_class(values)
+    return per_design
+
+
+def test_fig16_normalised_fm_traffic(benchmark, main_sweep):
+    per_design = run_once(benchmark, lambda: collect(main_sweep))
+    text = class_metric_table(
+        per_design, "Figure 16: FM traffic normalised to baseline (1 GB NM)",
+        "normalised bytes")
+    emit("fig16_fm_traffic", text)
+    for design in EVALUATED_DESIGNS:
+        assert per_design[design]["all"] > 0

@@ -1,0 +1,68 @@
+"""Shared configuration of the benchmark harness.
+
+Every bench regenerates one table or figure of the paper's evaluation on the
+scaled model.  Because the full sweep (30 workloads x 7+ designs x 3 NM
+sizes) is too slow for routine runs of a pure-Python simulator, the benches
+default to a class-balanced subset of workloads and a moderate trace length;
+set the environment variables below for a fuller (slower) run:
+
+* ``REPRO_BENCH_REFS``               references per run (default 16000)
+* ``REPRO_BENCH_WORKLOADS_PER_CLASS`` workloads per MPKI class (default 2)
+* ``REPRO_BENCH_SCALE``              capacity scale denominator (default 256)
+* ``REPRO_FULL=1``                   full 30-workload, 48 k-reference sweep
+
+Each bench prints the regenerated rows/series and also writes them to
+``benchmarks/results/<experiment>.txt`` so they can be compared against the
+paper values recorded in ``EXPERIMENTS.md``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import EVALUATED_DESIGNS
+from repro.sim.runner import ExperimentRunner
+from repro.workloads import representative_workloads
+
+FULL = os.environ.get("REPRO_FULL") == "1"
+REFS = int(os.environ.get("REPRO_BENCH_REFS", "48000" if FULL else "16000"))
+PER_CLASS = int(os.environ.get("REPRO_BENCH_WORKLOADS_PER_CLASS",
+                               "10" if FULL else "2"))
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "256"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a regenerated table and persist it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(num_references=REFS, scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    return representative_workloads(per_class=PER_CLASS)
+
+
+@pytest.fixture(scope="session")
+def main_sweep(runner, bench_workloads):
+    """The 1 GB-NM (1:16) sweep of all evaluated designs.
+
+    Figures 13 and 15-18 all read from this single sweep so the expensive
+    simulations run once per benchmark session.
+    """
+    return runner.sweep_designs_by_name(list(EVALUATED_DESIGNS),
+                                        bench_workloads, nm_gb=1)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Ablation of Hybrid2's migration decision (the Figure 14 study, per
+workload).
+
+The migration decision of Section 3.7 combines an access-counter comparison,
+a net-cost function and an FM bandwidth budget.  This example compares the
+full policy against always-migrating and never-migrating variants and the
+No-Remap ideal, showing how the policy balances migration benefit against
+swap traffic.
+
+Run with::
+
+    python examples/migration_policy_ablation.py
+"""
+
+from repro import make_config, simulate
+from repro.baselines.fm_only import FarMemoryOnly
+from repro.core.variants import BREAKDOWN_VARIANTS
+from repro.workloads import get_workload
+
+NUM_REFERENCES = 20_000
+WORKLOADS = ("gcc", "omnetpp", "dc.B")
+
+
+def main() -> None:
+    config = make_config(nm_gb=1, fm_gb=16, scale=256)
+    for name in WORKLOADS:
+        workload = get_workload(name)
+        baseline = simulate(FarMemoryOnly(config), workload,
+                            num_references=NUM_REFERENCES, seed=3)
+        print(f"\n=== {name} ===")
+        print(f"{'variant':12s} {'speedup':>8s} {'migrations':>11s} "
+              f"{'FM MB':>8s} {'NM %':>6s}")
+        for label, factory in BREAKDOWN_VARIANTS.items():
+            system = factory(config)
+            result = simulate(system, workload,
+                              num_references=NUM_REFERENCES, seed=3)
+            migrations = int(result.stats.get("policy.migrations"))
+            print(f"{label:12s} {result.speedup_over(baseline):8.2f} "
+                  f"{migrations:11d} "
+                  f"{result.fm_traffic_bytes / 2**20:8.2f} "
+                  f"{100 * result.nm_service_ratio:6.1f}")
+    print("\nThe full policy migrates far less than Migr-All (saving FM "
+          "bandwidth) while keeping most of its near-memory service ratio; "
+          "No-Remap shows that the metadata overhead costs only a few "
+          "percent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate Hybrid2 on one workload and compare it against the
+no-NM baseline and a DRAM cache.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import make_config, make_design, simulate
+from repro.baselines.fm_only import FarMemoryOnly
+from repro.workloads import get_workload
+
+NUM_REFERENCES = 20_000
+
+
+def main() -> None:
+    # A 1 GB near memory : 16 GB far memory system (Table 1), scaled 1/256
+    # so the pure-Python model stays fast: 4 MB HBM2 + 64 MB DDR4.
+    config = make_config(nm_gb=1, fm_gb=16, scale=256)
+    workload = get_workload("mcf")   # small, hot footprint; high MPKI
+
+    print(f"Workload: {workload.name} (MPKI {workload.mpki}, "
+          f"footprint {workload.footprint_gb} GB in the paper)")
+    print(f"Near memory: {config.near.capacity_bytes >> 20} MB, "
+          f"far memory: {config.far.capacity_bytes >> 20} MB\n")
+
+    baseline = simulate(FarMemoryOnly(config), workload,
+                        num_references=NUM_REFERENCES, seed=1)
+    print(f"{'design':10s} {'speedup':>8s} {'served from NM':>15s} "
+          f"{'FM traffic (MB)':>16s} {'capacity (MB)':>14s}")
+    print(f"{'BASELINE':10s} {1.0:8.2f} {0.0:15.2f} "
+          f"{baseline.fm_traffic_bytes / 2**20:16.2f} "
+          f"{baseline.flat_capacity_bytes / 2**20:14.1f}")
+
+    for design in ("HYBRID2", "DFC", "TAGLESS", "MPOD"):
+        system = make_design(design, config)
+        result = simulate(system, workload, num_references=NUM_REFERENCES,
+                          seed=1)
+        print(f"{design:10s} {result.speedup_over(baseline):8.2f} "
+              f"{result.nm_service_ratio:15.2f} "
+              f"{result.fm_traffic_bytes / 2**20:16.2f} "
+              f"{result.flat_capacity_bytes / 2**20:14.1f}")
+
+    print("\nHybrid2 keeps almost all of the near memory in the flat address "
+          "space (capacity column) while serving most requests from it.")
+
+
+if __name__ == "__main__":
+    main()

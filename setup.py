@@ -1,0 +1,4 @@
+"""Setup shim for environments that cannot perform PEP 660 editable installs."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""Hybrid2 reproduction library.
+
+A trace-driven model of hybrid (3D-stacked DRAM + off-chip DRAM) memory
+systems reproducing *"Hybrid2: Combining Caching and Migration in Hybrid
+Memory Systems"* (Vasilakis et al., HPCA 2020), together with the DRAM-cache
+and migration baselines the paper evaluates against and a benchmark harness
+that regenerates every table and figure of its evaluation.
+
+Quickstart::
+
+    from repro import make_config, Hybrid2System, simulate, get_workload
+
+    config = make_config(nm_gb=1, scale=256)       # 1:16 NM:FM, scaled
+    system = Hybrid2System(config)
+    result = simulate(system, get_workload("mcf"), num_references=50_000)
+    print(result.cycles, result.nm_service_ratio)
+"""
+
+from .params import (CoreParams, DramParams, Hybrid2Params, SramCacheParams,
+                     SystemConfig, ddr4_params, hbm2_params, make_config)
+from .common import AccessOutcome, MemoryRequest
+from .stats import Stats
+from .core.hybrid2 import Hybrid2System
+from .baselines import (DESIGN_FACTORIES, EVALUATED_DESIGNS, MemorySystem,
+                        make_design)
+from .workloads import (WORKLOADS, WorkloadSpec, generate_trace, get_workload,
+                        representative_workloads, workloads_by_class)
+from .sim.simulator import RunResult, Simulator, simulate
+from .sim.runner import ExperimentRunner
+from .sim import metrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreParams",
+    "DramParams",
+    "Hybrid2Params",
+    "SramCacheParams",
+    "SystemConfig",
+    "ddr4_params",
+    "hbm2_params",
+    "make_config",
+    "AccessOutcome",
+    "MemoryRequest",
+    "Stats",
+    "Hybrid2System",
+    "DESIGN_FACTORIES",
+    "EVALUATED_DESIGNS",
+    "MemorySystem",
+    "make_design",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "generate_trace",
+    "get_workload",
+    "representative_workloads",
+    "workloads_by_class",
+    "RunResult",
+    "Simulator",
+    "simulate",
+    "ExperimentRunner",
+    "metrics",
+    "__version__",
+]

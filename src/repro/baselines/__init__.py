@@ -1,0 +1,73 @@
+"""Memory-system designs the paper compares against, plus the shared interface.
+
+The evaluation of the paper (Section 5) compares Hybrid2 with three
+migration schemes (MemPod, Chameleon, LGM), two DRAM caches (Tagless, DFC),
+an idealised DRAM cache used in the motivation study, and a baseline system
+without 3D-stacked DRAM.  :data:`DESIGN_FACTORIES` exposes them uniformly to
+the simulation harness.
+"""
+
+from typing import Callable, Dict
+
+from ..params import SystemConfig
+from .base import MemorySystem
+from .chameleon import ChameleonGroups
+from .dfc import DecoupledFusedCache
+from .dram_cache import DramCacheSystem
+from .fm_only import FarMemoryOnly
+from .ideal_cache import IdealCache
+from .lgm import LgmMigration
+from .mempod import MemPod
+from .migration_base import MigrationSystem, RemapCache
+from .tagless import TaglessCache
+
+
+def _hybrid2_factory(config: SystemConfig) -> MemorySystem:
+    # Imported lazily to avoid a circular import (core depends on baselines
+    # for the MemorySystem interface).
+    from ..core.hybrid2 import Hybrid2System
+
+    return Hybrid2System(config)
+
+
+#: The six designs of the main evaluation figures, by their paper labels.
+DESIGN_FACTORIES: Dict[str, Callable[[SystemConfig], MemorySystem]] = {
+    "BASELINE": FarMemoryOnly,
+    "MPOD": MemPod,
+    "CHA": ChameleonGroups,
+    "LGM": LgmMigration,
+    "TAGLESS": TaglessCache,
+    "DFC": DecoupledFusedCache,
+    "HYBRID2": _hybrid2_factory,
+}
+
+#: Designs shown in Figures 12/13/15-18 (everything except the baseline).
+EVALUATED_DESIGNS = ("MPOD", "CHA", "LGM", "TAGLESS", "DFC", "HYBRID2")
+
+
+def make_design(name: str, config: SystemConfig) -> MemorySystem:
+    """Instantiate a design by its paper label."""
+    try:
+        factory = DESIGN_FACTORIES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown design {name!r}; known: {sorted(DESIGN_FACTORIES)}")
+    return factory(config)
+
+
+__all__ = [
+    "MemorySystem",
+    "FarMemoryOnly",
+    "DramCacheSystem",
+    "IdealCache",
+    "TaglessCache",
+    "DecoupledFusedCache",
+    "MemPod",
+    "ChameleonGroups",
+    "LgmMigration",
+    "MigrationSystem",
+    "RemapCache",
+    "DESIGN_FACTORIES",
+    "EVALUATED_DESIGNS",
+    "make_design",
+]

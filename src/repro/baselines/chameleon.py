@@ -1,0 +1,139 @@
+"""Chameleon baseline (Kotra et al., MICRO 2018).
+
+Chameleon builds on PoM-style congruence groups: each group pairs one near-
+memory segment slot with the far-memory segments that compete for it, and a
+set of competing counters decides when to swap a hot far-memory segment into
+the group's NM slot (the paper reports ``K = 14`` as the best threshold for
+this memory configuration).  Chameleon's contribution on top of PoM is to
+reuse memory the OS is not using as a cache; following the paper's
+methodology, the model grants Chameleon the same NM capacity Hybrid2 spends
+on its DRAM cache for that cache mode.
+
+Group-based remapping needs only a few bits per group, so — unlike MemPod
+and LGM — no in-memory remap table traffic is charged.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from ..common import LINE_SIZE, AccessOutcome
+from ..params import SystemConfig
+from ..stats import Stats
+from .migration_base import MigrationSystem
+
+
+class ChameleonGroups(MigrationSystem):
+    """Chameleon: group-based competing-counter swaps plus a cache mode."""
+
+    name = "CHA"
+    remap_in_memory = False
+
+    def __init__(self, config: SystemConfig, *, threshold: int = 14,
+                 seed: int = 17) -> None:
+        super().__init__(config, seed=seed)
+        self.threshold = threshold
+        #: competing counter per far-memory segment (sparse).  Counters are
+        #: bumped once per segment *visit* (consecutive accesses to the same
+        #: segment are one visit), which is what makes the competing-counter
+        #: threshold meaningful for coarse, high-spatial-locality streams.
+        self._counters: Dict[int, int] = {}
+        self._last_segment: int = -1
+        #: segments currently held by the cache mode (LRU over segments).
+        self._cache_mode: OrderedDict[int, bool] = OrderedDict()
+        self._cache_capacity = config.hybrid2.cache_sectors
+        self.cache_mode_hits = 0
+        self.cache_mode_fills = 0
+        self.group_swaps = 0
+
+    # ------------------------------------------------------------------
+    # access path: cache mode first, then the flat space
+    # ------------------------------------------------------------------
+    def access(self, address: int, is_write: bool, now_ns: float) -> AccessOutcome:
+        address = address % self.flat_capacity_bytes
+        self._maybe_end_interval(now_ns)
+        segment = address // self.segment_bytes
+        offset = address % self.segment_bytes
+        location = self.remap.lookup(segment)
+
+        if not location.in_near and segment in self._cache_mode:
+            # Served by the cache-mode copy kept in the reserved NM slice.
+            if is_write:
+                self._cache_mode[segment] = True
+            self._cache_mode.move_to_end(segment)
+            self.cache_mode_hits += 1
+            result = self.near.access(
+                (segment % self._cache_capacity) * self.segment_bytes + offset,
+                is_write, now_ns, LINE_SIZE, demand=True)
+            # The competing counters keep observing the segment while it is
+            # served from the cache-mode copy, so a persistently hot segment
+            # still gets promoted into the flat NM space by a group swap.
+            self._note_access(segment, False, is_write, now_ns)
+            return self._outcome(result.latency_ns, served_from_nm=True,
+                                 is_write=is_write, dram_cache_hit=True,
+                                 path="cache-mode")
+
+        if location.in_near:
+            result = self.near.access(location.frame * self.segment_bytes + offset,
+                                      is_write, now_ns, LINE_SIZE, demand=True)
+            served_from_nm = True
+        else:
+            result = self.far.access(location.frame * self.segment_bytes + offset,
+                                     is_write, now_ns, LINE_SIZE, demand=True)
+            served_from_nm = False
+        self._note_access(segment, served_from_nm, is_write, now_ns)
+        return self._outcome(result.latency_ns, served_from_nm, is_write,
+                             path="nm" if served_from_nm else "fm")
+
+    # ------------------------------------------------------------------
+    # competing counters
+    # ------------------------------------------------------------------
+    def _note_access(self, segment: int, served_from_nm: bool, is_write: bool,
+                     now_ns: float) -> None:
+        if served_from_nm:
+            self._last_segment = segment
+            return
+        if segment == self._last_segment:
+            return
+        self._last_segment = segment
+        count = self._counters.get(segment, 0) + 1
+        if count >= self.threshold:
+            self._counters.pop(segment, None)
+            if self._swap_into_nm(segment, now_ns):
+                self.group_swaps += 1
+                self._cache_mode.pop(segment, None)
+            return
+        self._counters[segment] = count
+        if count == self.threshold // 2:
+            self._fill_cache_mode(segment, now_ns)
+
+    def _fill_cache_mode(self, segment: int, now_ns: float) -> None:
+        """Copy a warming segment into the reserved (OS-unused) NM slice."""
+        if segment in self._cache_mode:
+            return
+        self.cache_mode_fills += 1
+        location = self.remap.lookup(segment)
+        self.far.transfer_block(location.frame * self.segment_bytes,
+                                self.segment_bytes, False, now_ns, demand=False)
+        self.near.transfer_block(
+            (segment % self._cache_capacity) * self.segment_bytes,
+            self.segment_bytes, True, now_ns, demand=False)
+        self._cache_mode[segment] = False
+        if len(self._cache_mode) > self._cache_capacity:
+            victim, dirty = self._cache_mode.popitem(last=False)
+            if dirty:
+                # Write the modified copy back to its far-memory home.
+                victim_home = self.remap.lookup(victim)
+                self.near.transfer_block(
+                    (victim % self._cache_capacity) * self.segment_bytes,
+                    self.segment_bytes, False, now_ns, demand=False)
+                self.far.transfer_block(victim_home.frame * self.segment_bytes,
+                                        self.segment_bytes, True, now_ns,
+                                        demand=False)
+
+    def _extra_stats(self, stats: Stats) -> None:
+        super()._extra_stats(stats)
+        stats.set("chameleon.group_swaps", self.group_swaps)
+        stats.set("chameleon.cache_mode_hits", self.cache_mode_hits)
+        stats.set("chameleon.cache_mode_fills", self.cache_mode_fills)

@@ -1,0 +1,32 @@
+"""The paper's baseline: a system without 3D-stacked DRAM.
+
+Every speedup in the evaluation is normalised to this design: all memory
+requests are served by the DDR4 far memory and the flat capacity is the far
+memory alone.
+"""
+
+from __future__ import annotations
+
+from ..common import LINE_SIZE, AccessOutcome
+from ..params import SystemConfig
+from .base import MemorySystem
+
+
+class FarMemoryOnly(MemorySystem):
+    """All requests go to the far memory; there is no near memory."""
+
+    name = "BASELINE"
+
+    def __init__(self, config: SystemConfig) -> None:
+        super().__init__(config)
+        self._make_controllers(None, config.far)
+
+    def access(self, address: int, is_write: bool, now_ns: float) -> AccessOutcome:
+        address = address % self.config.far.capacity_bytes
+        result = self.far.access(address, is_write, now_ns, LINE_SIZE)
+        return self._outcome(result.latency_ns, served_from_nm=False,
+                             is_write=is_write, path="fm")
+
+    @property
+    def flat_capacity_bytes(self) -> int:
+        return self.config.far.capacity_bytes

@@ -1,0 +1,235 @@
+"""Shared machinery for the flat-address-space migration baselines.
+
+MemPod, LGM and Chameleon all expose the near memory as part of a flat
+address space and move 2 KB segments between near and far memory.  They
+share:
+
+* a segment-granularity remap table with an on-chip **remap cache** whose
+  capacity matches Hybrid2's XTA (the paper equalises these for fairness);
+* a swap primitive (a migration is always an exchange, which is the
+  fundamental cost difference against caches);
+* interval-based bookkeeping (MemPod and LGM migrate at 50 us interval
+  boundaries).
+
+Subclasses implement :meth:`MigrationSystem._note_access` (how accesses feed
+the selection policy) and :meth:`MigrationSystem._interval_end` (which
+segments to migrate when an interval expires).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from ..common import LINE_SIZE, AccessOutcome, MemoryKind
+from ..core.remap import RemapTable
+from ..params import SystemConfig
+from ..stats import Stats
+from .base import MemorySystem
+
+#: Migration granularity shared by the baselines (2 KB, as in the paper).
+SEGMENT_BYTES = 2048
+
+#: Interval length used by MemPod and LGM (50 us).
+INTERVAL_NS = 50_000.0
+
+
+class RemapCache:
+    """On-chip cache of remap-table entries (LRU over segment numbers)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(1, capacity)
+        self._entries: OrderedDict[int, bool] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, segment: int) -> bool:
+        """Return True on hit; inserts the entry on miss (the remap table
+        itself is read by the caller in that case)."""
+        if segment in self._entries:
+            self._entries.move_to_end(segment)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[segment] = True
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return False
+
+    def refresh(self, segment: int) -> None:
+        """Make sure the entry for ``segment`` is present (after a swap)."""
+        self._entries[segment] = True
+        self._entries.move_to_end(segment)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class MigrationSystem(MemorySystem):
+    """Base class of the flat-space migration designs."""
+
+    name = "MIGRATION"
+    segment_bytes = SEGMENT_BYTES
+    interval_ns = INTERVAL_NS
+    #: Whether remap metadata lives in memory (True) or fits on chip
+    #: (False, e.g. group-based Chameleon).
+    remap_in_memory = True
+
+    def __init__(self, config: SystemConfig, seed: int = 17) -> None:
+        super().__init__(config)
+        self._make_controllers(config.near, config.far)
+        self.nm_frames = config.near.capacity_bytes // self.segment_bytes
+        self.fm_frames = config.far.capacity_bytes // self.segment_bytes
+        self.num_segments = self.nm_frames + self.fm_frames
+        self.remap = RemapTable(self.num_segments, list(range(self.nm_frames)),
+                                self.fm_frames, seed=seed)
+        self.remap_cache = RemapCache(config.hybrid2.cache_sectors)
+        self._fifo_victim = 0
+        self._interval_end_ns = self.interval_ns
+        self._interval_fm_accesses = 0
+        self.migrations = 0
+        self.swap_bytes = 0
+
+    # ------------------------------------------------------------------
+    # interface
+    # ------------------------------------------------------------------
+    @property
+    def flat_capacity_bytes(self) -> int:
+        return self.num_segments * self.segment_bytes
+
+    def access(self, address: int, is_write: bool, now_ns: float) -> AccessOutcome:
+        address = address % self.flat_capacity_bytes
+        self._maybe_end_interval(now_ns)
+        segment = address // self.segment_bytes
+        offset = address % self.segment_bytes
+
+        latency = self._translation_latency(segment, now_ns)
+        location = self.remap.lookup(segment)
+        if location.in_near:
+            result = self.near.access(location.frame * self.segment_bytes + offset,
+                                      is_write, now_ns, LINE_SIZE, demand=True)
+            served_from_nm = True
+        else:
+            result = self.far.access(location.frame * self.segment_bytes + offset,
+                                     is_write, now_ns, LINE_SIZE, demand=True)
+            served_from_nm = False
+        latency += result.latency_ns
+        if not served_from_nm:
+            self._interval_fm_accesses += 1
+        self._note_access(segment, served_from_nm, is_write, now_ns)
+        return self._outcome(latency, served_from_nm, is_write,
+                             path="nm" if served_from_nm else "fm")
+
+    # ------------------------------------------------------------------
+    # pieces shared by the subclasses
+    # ------------------------------------------------------------------
+    def _translation_latency(self, segment: int, now_ns: float) -> float:
+        """Remap-cache lookup; a miss reads the remap table in near memory."""
+        if not self.remap_in_memory:
+            return 0.0
+        if self.remap_cache.lookup(segment):
+            return 0.0
+        result = self.near.access((segment * 8) % self.config.near.capacity_bytes,
+                                  False, now_ns, LINE_SIZE, metadata=True)
+        return result.latency_ns
+
+    def _maybe_end_interval(self, now_ns: float) -> None:
+        if now_ns < self._interval_end_ns:
+            return
+        self._interval_end(now_ns)
+        self._interval_fm_accesses = 0
+        while self._interval_end_ns <= now_ns:
+            self._interval_end_ns += self.interval_ns
+
+    def migration_budget_swaps(self) -> int:
+        """Upper bound on swaps this interval, proportional to the interval's
+        demand far-memory traffic.
+
+        A swap moves two whole segments (about ``4 * segment_bytes`` of
+        traffic); bounding swap traffic by the interval's demand FM traffic
+        keeps the schemes' aggressiveness consistent across the capacity
+        scaling of this model (the unscaled designs are implicitly bounded
+        the same way by what their counters can observe per interval).
+        """
+        demand_bytes = self._interval_fm_accesses * LINE_SIZE
+        return max(1, demand_bytes // (4 * self.segment_bytes))
+
+    def _select_nm_victim(self, protected: Optional[set] = None) -> Optional[int]:
+        """FIFO choice of an NM frame whose segment will be swapped out."""
+        protected = protected or set()
+        for _ in range(self.nm_frames):
+            frame = self._fifo_victim % self.nm_frames
+            self._fifo_victim += 1
+            segment = self.remap.sector_at_nm_frame(frame)
+            if segment < 0 or segment in protected:
+                continue
+            return frame
+        return None
+
+    def _swap_into_nm(self, segment: int, now_ns: float,
+                      protected: Optional[set] = None,
+                      fm_read_bytes: Optional[int] = None) -> bool:
+        """Swap ``segment`` (currently in FM) with a FIFO-chosen NM victim.
+
+        ``fm_read_bytes`` lets a subclass reduce the amount read from far
+        memory (LGM skips lines that are present in the LLC).  Returns False
+        when no victim was available or the segment is already in NM.
+        """
+        location = self.remap.lookup(segment)
+        if location.in_near:
+            return False
+        victim_frame = self._select_nm_victim(protected)
+        if victim_frame is None:
+            return False
+        victim_segment = self.remap.sector_at_nm_frame(victim_frame)
+        fm_frame = location.frame
+
+        read_bytes = fm_read_bytes if fm_read_bytes is not None else self.segment_bytes
+        read_bytes = max(LINE_SIZE, min(self.segment_bytes, read_bytes))
+        # Incoming segment: FM -> NM.
+        self.far.transfer_block(fm_frame * self.segment_bytes, read_bytes,
+                                False, now_ns, demand=False)
+        self.near.transfer_block(victim_frame * self.segment_bytes,
+                                 self.segment_bytes, True, now_ns, demand=False)
+        # Victim segment: NM -> FM (a swap always writes the victim back).
+        self.near.transfer_block(victim_frame * self.segment_bytes,
+                                 self.segment_bytes, False, now_ns, demand=False)
+        self.far.transfer_block(fm_frame * self.segment_bytes,
+                                self.segment_bytes, True, now_ns, demand=False)
+        self.swap_bytes += read_bytes + 3 * self.segment_bytes
+
+        self.remap.assign_to_near(segment, victim_frame)
+        self.remap.assign_to_far(victim_segment, fm_frame)
+        if self.remap_in_memory:
+            self.remap_cache.refresh(segment)
+            self.remap_cache.refresh(victim_segment)
+            # Two remap-table updates (background metadata writes).
+            self.near.access((segment * 8) % self.config.near.capacity_bytes,
+                             True, now_ns, LINE_SIZE, metadata=True)
+            self.near.access((victim_segment * 8) % self.config.near.capacity_bytes,
+                             True, now_ns, LINE_SIZE, metadata=True)
+        self.migrations += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    def _note_access(self, segment: int, served_from_nm: bool, is_write: bool,
+                     now_ns: float) -> None:
+        """Feed the selection policy with one access."""
+
+    def _interval_end(self, now_ns: float) -> None:
+        """Perform end-of-interval migrations (MemPod, LGM)."""
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _extra_stats(self, stats: Stats) -> None:
+        stats.set("migrations", self.migrations)
+        stats.set("swap_bytes", self.swap_bytes)
+        stats.set("remap_cache.hit_rate", self.remap_cache.hit_rate)
+        stats.set("segments_in_nm", self.remap.count_in_near())

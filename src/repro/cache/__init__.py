@@ -1,0 +1,16 @@
+"""SRAM cache substrate: set-associative caches and the L1/L2/L3 hierarchy."""
+
+from .cache import CacheAccessResult, SetAssociativeCache
+from .hierarchy import CacheHierarchy, HierarchyResult
+from .replacement import FifoPolicy, LruPolicy, RandomPolicy, make_policy
+
+__all__ = [
+    "CacheAccessResult",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "HierarchyResult",
+    "FifoPolicy",
+    "LruPolicy",
+    "RandomPolicy",
+    "make_policy",
+]

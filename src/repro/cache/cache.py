@@ -1,0 +1,176 @@
+"""Set-associative, write-back, write-allocate SRAM cache model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common import align_down
+from .replacement import ReplacementPolicy, make_policy
+
+
+@dataclass
+class CacheLineState:
+    """One way of one set: the resident tag and its dirty bit."""
+
+    tag: int = -1
+    valid: bool = False
+    dirty: bool = False
+
+
+@dataclass
+class CacheAccessResult:
+    """Outcome of probing one cache level."""
+
+    hit: bool
+    #: Block-aligned address of a dirty victim that must be written back,
+    #: or ``None`` when nothing was evicted / the victim was clean.
+    writeback_address: Optional[int] = None
+    #: Block-aligned address of any victim (clean or dirty); ``None`` on hit
+    #: without eviction.  Upper levels use this for (non-inclusive) tracking.
+    evicted_address: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """A generic set-associative cache.
+
+    The model is functional (hit/miss/evict/writeback) rather than timed;
+    latencies are charged by the hierarchy that owns the level.  It is used
+    for the L1/L2/L3 SRAM caches and reused by DRAM-cache baselines that
+    need a plain set-associative structure.
+    """
+
+    def __init__(self, size_bytes: int, ways: int, line_size: int = 64,
+                 policy: str = "lru", name: str = "cache") -> None:
+        if size_bytes % (ways * line_size):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by ways*line_size")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_size = line_size
+        self.num_sets = size_bytes // (ways * line_size)
+        self._sets: List[List[CacheLineState]] = [
+            [CacheLineState() for _ in range(ways)] for _ in range(self.num_sets)
+        ]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(policy, ways, seed=i) for i in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def _index_tag(self, address: int) -> tuple[int, int]:
+        block = address // self.line_size
+        return block % self.num_sets, block // self.num_sets
+
+    def _block_address(self, set_index: int, tag: int) -> int:
+        return (tag * self.num_sets + set_index) * self.line_size
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def probe(self, address: int) -> bool:
+        """Return True if the line holding ``address`` is resident (no state
+        change)."""
+        set_index, tag = self._index_tag(address)
+        return any(w.valid and w.tag == tag for w in self._sets[set_index])
+
+    def access(self, address: int, is_write: bool) -> CacheAccessResult:
+        """Perform a demand access, allocating on miss (write-allocate)."""
+        set_index, tag = self._index_tag(address)
+        ways = self._sets[set_index]
+        policy = self._policies[set_index]
+
+        for way_index, way in enumerate(ways):
+            if way.valid and way.tag == tag:
+                self.hits += 1
+                way.dirty = way.dirty or is_write
+                policy.touch(way_index)
+                return CacheAccessResult(hit=True)
+
+        self.misses += 1
+        # Prefer an invalid way before evicting.
+        victim_index = next(
+            (i for i, w in enumerate(ways) if not w.valid), None)
+        if victim_index is None:
+            victim_index = policy.victim()
+        victim = ways[victim_index]
+
+        writeback = None
+        evicted = None
+        if victim.valid:
+            evicted = self._block_address(set_index, victim.tag)
+            if victim.dirty:
+                writeback = evicted
+                self.writebacks += 1
+
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = is_write
+        policy.touch(victim_index)
+        return CacheAccessResult(hit=False, writeback_address=writeback,
+                                 evicted_address=evicted)
+
+    def fill(self, address: int, dirty: bool = False) -> CacheAccessResult:
+        """Install a line without counting a demand hit/miss (used for
+        writebacks arriving from an inner level)."""
+        set_index, tag = self._index_tag(address)
+        ways = self._sets[set_index]
+        policy = self._policies[set_index]
+        for way_index, way in enumerate(ways):
+            if way.valid and way.tag == tag:
+                way.dirty = way.dirty or dirty
+                policy.touch(way_index)
+                return CacheAccessResult(hit=True)
+        victim_index = next((i for i, w in enumerate(ways) if not w.valid), None)
+        if victim_index is None:
+            victim_index = policy.victim()
+        victim = ways[victim_index]
+        writeback = None
+        evicted = None
+        if victim.valid:
+            evicted = self._block_address(set_index, victim.tag)
+            if victim.dirty:
+                writeback = evicted
+                self.writebacks += 1
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = dirty
+        policy.touch(victim_index)
+        return CacheAccessResult(hit=False, writeback_address=writeback,
+                                 evicted_address=evicted)
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the line holding ``address`` if resident; returns whether it
+        was dirty."""
+        set_index, tag = self._index_tag(address)
+        for way_index, way in enumerate(self._sets[set_index]):
+            if way.valid and way.tag == tag:
+                dirty = way.dirty
+                way.valid = False
+                way.dirty = False
+                way.tag = -1
+                self._policies[set_index].reset(way_index)
+                return dirty
+        return False
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def resident_lines(self) -> int:
+        return sum(1 for s in self._sets for w in s if w.valid)
+
+    def aligned(self, address: int) -> int:
+        return align_down(address, self.line_size)

@@ -1,0 +1,110 @@
+"""Three-level SRAM cache hierarchy (Table 1: L1/L2 private, L3 shared).
+
+The hierarchy filters the processor reference stream before it reaches the
+hybrid memory system: only LLC misses and LLC dirty evictions leave the
+processor package.  The model is non-inclusive / non-exclusive, matching the
+paper's LLC description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..params import CoreParams, SramCacheParams
+from .cache import SetAssociativeCache
+
+
+@dataclass
+class HierarchyResult:
+    """What happened to one processor reference inside the SRAM hierarchy."""
+
+    #: Level the data was found in: "l1", "l2", "l3" or "memory".
+    level: str
+    #: SRAM access latency in core cycles (0 extra for L1 hits, etc.).
+    latency_cycles: int
+    #: True when the request must be sent to the memory system.
+    llc_miss: bool
+    #: Dirty LLC victims (64 B line addresses) that must be written back to
+    #: the memory system as a consequence of this reference.
+    writebacks: List[int]
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core plus one shared L3."""
+
+    def __init__(self, cores: CoreParams, l1: SramCacheParams,
+                 l2: SramCacheParams, l3: SramCacheParams) -> None:
+        self.cores = cores
+        self.l1_params, self.l2_params, self.l3_params = l1, l2, l3
+        self.l1: List[SetAssociativeCache] = [
+            SetAssociativeCache(l1.size_bytes, l1.ways, l1.line_size,
+                                name=f"l1.{c}")
+            for c in range(cores.num_cores)
+        ]
+        self.l2: List[SetAssociativeCache] = [
+            SetAssociativeCache(l2.size_bytes, l2.ways, l2.line_size,
+                                name=f"l2.{c}")
+            for c in range(cores.num_cores)
+        ]
+        self.l3 = SetAssociativeCache(l3.size_bytes, l3.ways, l3.line_size,
+                                      name="l3")
+
+    def access(self, core_id: int, address: int, is_write: bool) -> HierarchyResult:
+        """Send one reference from ``core_id`` through L1 -> L2 -> L3."""
+        if not 0 <= core_id < self.cores.num_cores:
+            raise ValueError(f"core_id {core_id} out of range")
+        writebacks: List[int] = []
+
+        l1 = self.l1[core_id]
+        r1 = l1.access(address, is_write)
+        if r1.writeback_address is not None:
+            # Dirty L1 victim falls into L2.
+            r2wb = self.l2[core_id].fill(r1.writeback_address, dirty=True)
+            if r2wb.writeback_address is not None:
+                r3wb = self.l3.fill(r2wb.writeback_address, dirty=True)
+                if r3wb.writeback_address is not None:
+                    writebacks.append(r3wb.writeback_address)
+        if r1.hit:
+            return HierarchyResult("l1", self.l1_params.latency_cycles,
+                                   llc_miss=False, writebacks=writebacks)
+
+        l2 = self.l2[core_id]
+        r2 = l2.access(address, is_write)
+        if r2.writeback_address is not None:
+            r3wb = self.l3.fill(r2.writeback_address, dirty=True)
+            if r3wb.writeback_address is not None:
+                writebacks.append(r3wb.writeback_address)
+        if r2.hit:
+            return HierarchyResult("l2", self.l2_params.latency_cycles,
+                                   llc_miss=False, writebacks=writebacks)
+
+        r3 = self.l3.access(address, is_write)
+        if r3.writeback_address is not None:
+            writebacks.append(r3.writeback_address)
+        if r3.hit:
+            return HierarchyResult("l3", self.l3_params.latency_cycles,
+                                   llc_miss=False, writebacks=writebacks)
+
+        return HierarchyResult("memory", self.l3_params.latency_cycles,
+                               llc_miss=True, writebacks=writebacks)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def llc_mpki(self, instructions: int) -> float:
+        """LLC misses per kilo-instruction over the run so far."""
+        if instructions <= 0:
+            return 0.0
+        return self.l3.misses / (instructions / 1000.0)
+
+    def summary(self) -> dict:
+        return {
+            "l1_hit_rate": sum(c.hits for c in self.l1) /
+            max(1, sum(c.accesses for c in self.l1)),
+            "l2_hit_rate": sum(c.hits for c in self.l2) /
+            max(1, sum(c.accesses for c in self.l2)),
+            "l3_hit_rate": self.l3.hit_rate,
+            "l3_misses": self.l3.misses,
+            "l3_writebacks": self.l3.writebacks,
+        }

@@ -1,0 +1,97 @@
+"""Replacement policies for set-associative structures.
+
+The same policy objects are reused by the SRAM caches, the DRAM-cache
+baselines and the Hybrid2 eXtended Tag Array, so they are deliberately tiny:
+a policy only orders the ways of one set.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List
+
+
+class ReplacementPolicy(abc.ABC):
+    """Orders the ways of one set and picks victims."""
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+
+    @abc.abstractmethod
+    def touch(self, way: int) -> None:
+        """Record a use of ``way`` (hit or fill)."""
+
+    @abc.abstractmethod
+    def victim(self) -> int:
+        """Return the way to evict next."""
+
+    def reset(self, way: int) -> None:
+        """Forget history for ``way`` (it was invalidated)."""
+        # Default: nothing to forget beyond what touch() will overwrite.
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used ordering via a monotonically increasing stamp."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._clock = 0
+        self._stamps: List[int] = [-1] * ways
+
+    def touch(self, way: int) -> None:
+        self._clock += 1
+        self._stamps[way] = self._clock
+
+    def victim(self) -> int:
+        return min(range(self.ways), key=lambda w: self._stamps[w])
+
+    def reset(self, way: int) -> None:
+        self._stamps[way] = -1
+
+    def age_order(self) -> List[int]:
+        """Ways ordered from least to most recently used (for tests)."""
+        return sorted(range(self.ways), key=lambda w: self._stamps[w])
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out ordering: victims rotate regardless of reuse."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._next = 0
+
+    def touch(self, way: int) -> None:
+        # FIFO ignores hits; insertion order is maintained by victim().
+        return None
+
+    def victim(self) -> int:
+        way = self._next
+        self._next = (self._next + 1) % self.ways
+        return way
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim selection (seeded for reproducibility)."""
+
+    def __init__(self, ways: int, seed: int = 0) -> None:
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+
+    def touch(self, way: int) -> None:
+        return None
+
+    def victim(self) -> int:
+        return self._rng.randrange(self.ways)
+
+
+def make_policy(name: str, ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Factory used by configuration code (``lru``, ``fifo`` or ``random``)."""
+    name = name.lower()
+    if name == "lru":
+        return LruPolicy(ways)
+    if name == "fifo":
+        return FifoPolicy(ways)
+    if name == "random":
+        return RandomPolicy(ways, seed)
+    raise ValueError(f"unknown replacement policy: {name!r}")

@@ -1,0 +1,157 @@
+"""Common value types, constants and address arithmetic helpers.
+
+Every component of the simulator exchanges :class:`MemoryRequest` and
+:class:`AccessOutcome` objects and reasons about addresses with the helpers
+defined here, so the conventions live in a single place:
+
+* addresses are byte addresses in the *processor physical* address space;
+* the processor cache line is 64 bytes (``LINE_SIZE``);
+* Hybrid2 sectors and the migration granularity of the baselines are
+  2 KB (``SECTOR_SIZE``) unless configured otherwise;
+* time is tracked in nanoseconds (floats) at the memory-system boundary and
+  in core cycles inside the processor model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Processor cache-line size in bytes (fixed, matches the paper).
+LINE_SIZE = 64
+
+#: Default Hybrid2 sector / migration granularity in bytes.
+SECTOR_SIZE = 2048
+
+#: Default OS page size in bytes (used by the Tagless DRAM cache).
+PAGE_SIZE = 4096
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+class MemoryKind(enum.Enum):
+    """Which physical memory a piece of data currently lives in."""
+
+    NEAR = "near"
+    FAR = "far"
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """A single processor-side memory request reaching the memory system.
+
+    The request is always for one 64-byte cache line; larger transfers
+    (sector fills, page fills, migrations) are generated internally by the
+    memory-system models and are not represented as ``MemoryRequest``.
+    """
+
+    address: int
+    is_write: bool
+    core_id: int = 0
+
+    @property
+    def line_address(self) -> int:
+        """Address of the request aligned down to the 64 B line."""
+        return align_down(self.address, LINE_SIZE)
+
+
+@dataclass
+class AccessOutcome:
+    """What happened to a processor request inside a memory system model."""
+
+    latency_ns: float
+    served_from_nm: bool
+    #: True when the request hit in a DRAM-cache-like structure (for designs
+    #: that have one); migration-only designs leave it False.
+    dram_cache_hit: bool = False
+    #: Free-form tag describing the path taken (useful in tests).
+    path: str = ""
+
+
+@dataclass
+class DeviceAccess:
+    """Result of a single access issued to a DRAM device."""
+
+    latency_ns: float
+    row_hit: bool
+    energy_pj: float
+    completion_ns: float = 0.0
+
+
+def align_down(address: int, granularity: int) -> int:
+    """Align ``address`` down to a multiple of ``granularity``."""
+    return address - (address % granularity)
+
+
+def block_index(address: int, granularity: int) -> int:
+    """Index of the ``granularity``-sized block containing ``address``."""
+    return address // granularity
+
+
+def block_offset(address: int, granularity: int) -> int:
+    """Byte offset of ``address`` within its ``granularity``-sized block."""
+    return address % granularity
+
+
+def line_index_in_block(address: int, granularity: int,
+                        line_size: int = LINE_SIZE) -> int:
+    """Index of the ``line_size`` line of ``address`` within its block."""
+    return (address % granularity) // line_size
+
+
+def lines_per_block(granularity: int, line_size: int = LINE_SIZE) -> int:
+    """Number of ``line_size`` lines in a ``granularity``-sized block."""
+    if granularity % line_size:
+        raise ValueError(
+            f"block size {granularity} is not a multiple of line size {line_size}")
+    return granularity // line_size
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask`` (valid/dirty vectors are ints)."""
+    return bin(mask).count("1")
+
+
+def full_mask(nbits: int) -> int:
+    """Bit mask with the ``nbits`` low bits set."""
+    return (1 << nbits) - 1
+
+
+@dataclass
+class TrafficCounter:
+    """Byte counters for one direction of one memory device."""
+
+    read_bytes: int = 0
+    write_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    def add(self, is_write: bool, nbytes: int) -> None:
+        if is_write:
+            self.write_bytes += nbytes
+        else:
+            self.read_bytes += nbytes
+
+
+@dataclass
+class EnergyCounter:
+    """Accumulated dynamic energy, split by component, in picojoules."""
+
+    rw_pj: float = 0.0
+    act_pre_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return self.rw_pj + self.act_pre_pj
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_pj * 1e-9
+
+    def add(self, rw_pj: float = 0.0, act_pre_pj: float = 0.0) -> None:
+        self.rw_pj += rw_pj
+        self.act_pre_pj += act_pre_pj

@@ -1,0 +1,366 @@
+"""The DRAM Cache Migration Controller (DCMC) — Sections 3.4 to 3.7.
+
+The DCMC is the heart of Hybrid2: every memory request passes through it.
+It owns the eXtended Tag Array, the remapping metadata, the near-memory
+frame pool and the migration policy, and it talks to the near- and
+far-memory controllers.
+
+The access path follows Figure 7 of the paper:
+
+* **XTA hit / line hit** (1a): serve the 64 B request from the NM frame the
+  XTA points at.
+* **XTA hit / line miss** (1b): the sector is in FM with only part of it
+  cached — fetch the missing DRAM-cache line from FM, install it in NM.
+* **XTA miss** (2): read the remap table (an NM metadata access) to find the
+  sector, allocate an XTA entry (which may trigger the eviction flow of
+  Figure 9 and the migration decision of Figure 10), then serve from NM
+  (2a: sector already lives in NM) or fetch from FM into a newly obtained
+  cache frame (2b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..common import LINE_SIZE, MemoryKind
+from ..memory.controller import MemoryController
+from ..params import Hybrid2Params, SystemConfig
+from ..stats import Stats
+from .nm_allocator import NMFramePool
+from .policy import MigrationPolicy, MigrationVerdict
+from .remap import FreeFMStack, RemapTable
+from .xta import XTA, XTAEntry
+
+
+@dataclass
+class DcmcAccess:
+    """Result of one processor request through the DCMC."""
+
+    latency_ns: float
+    served_from_nm: bool
+    path: str
+
+
+class DCMC:
+    """DRAM Cache Migration Controller."""
+
+    def __init__(self, config: SystemConfig, near: MemoryController,
+                 far: MemoryController, *, migration_mode: str = "policy",
+                 model_metadata: bool = True, cache_only: bool = False,
+                 seed: int = 17) -> None:
+        self.config = config
+        self.near = near
+        self.far = far
+        self.params: Hybrid2Params = config.hybrid2
+        self.model_metadata = model_metadata
+        self.cache_only = cache_only
+
+        sector = self.params.sector_bytes
+        self.sector_bytes = sector
+        self.dram_line_bytes = self.params.cache_line_bytes
+        self.lines_per_sector = self.params.lines_per_sector
+
+        nm_total_frames = near.capacity_bytes // sector
+        metadata_frames = int(round(nm_total_frames * self.params.metadata_fraction))
+        carveout_frames = min(self.params.cache_sectors,
+                              nm_total_frames - metadata_frames)
+        if carveout_frames <= 0:
+            raise ValueError("near memory too small for the configured DRAM cache")
+        self.frames = NMFramePool(nm_total_frames, metadata_frames, carveout_frames)
+
+        fm_frames = far.capacity_bytes // sector
+        flat_nm_frames = [] if cache_only else self.frames.flat_frames
+        if cache_only:
+            # The flat space is the far memory alone; the rest of NM is idle.
+            num_flat_sectors = fm_frames
+        else:
+            if not flat_nm_frames:
+                raise ValueError(
+                    "near memory too small: nothing left for the flat address "
+                    "space after the DRAM cache and metadata reservations")
+            num_flat_sectors = len(flat_nm_frames) + fm_frames
+        self.num_flat_sectors = num_flat_sectors
+        self.remap = RemapTable(num_flat_sectors, flat_nm_frames, fm_frames,
+                                seed=seed)
+
+        self.xta = XTA(self.params.xta_sets, self.params.associativity,
+                       self.lines_per_sector, self.params.counter_max)
+        self.policy = MigrationPolicy(
+            self.lines_per_sector, self.params.bandwidth_window_cycles,
+            config.cores.cycle_ns,
+            mode="none" if cache_only else migration_mode)
+        self.free_fm = FreeFMStack(self.params.on_chip_stack_entries)
+
+        self._metadata_base = 0
+        self._metadata_span = max(sector, metadata_frames * sector)
+
+        self.counters = Stats()
+
+    # ------------------------------------------------------------------
+    # public properties
+    # ------------------------------------------------------------------
+    @property
+    def flat_capacity_bytes(self) -> int:
+        """Main-memory capacity Hybrid2 exposes to software."""
+        return self.num_flat_sectors * self.sector_bytes
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def _split(self, address: int) -> Tuple[int, int, int]:
+        """Return ``(sector, dram_cache_line_index, offset_in_sector)``."""
+        sector = address // self.sector_bytes
+        offset = address % self.sector_bytes
+        return sector, offset // self.dram_line_bytes, offset
+
+    def _nm_address(self, frame: int, offset: int = 0) -> int:
+        return frame * self.sector_bytes + offset
+
+    def _fm_address(self, frame: int, offset: int = 0) -> int:
+        return frame * self.sector_bytes + offset
+
+    # ------------------------------------------------------------------
+    # metadata accesses (remap tables, stack) stored in NM
+    # ------------------------------------------------------------------
+    def _metadata_access(self, key: int, is_write: bool, now_ns: float,
+                         critical: bool) -> float:
+        """Issue one remapping-metadata access to NM.
+
+        Returns the latency to charge on the critical path (zero for
+        background updates or when metadata modelling is disabled, as in the
+        No-Remap ablation).
+        """
+        if not self.model_metadata:
+            return 0.0
+        self.counters.inc("metadata.accesses")
+        address = self._metadata_base + (key * LINE_SIZE) % self._metadata_span
+        result = self.near.access(address, is_write, now_ns, LINE_SIZE,
+                                  metadata=True)
+        return result.latency_ns if critical else 0.0
+
+    # ------------------------------------------------------------------
+    # main access path (Figure 7)
+    # ------------------------------------------------------------------
+    def access(self, address: int, is_write: bool, now_ns: float) -> DcmcAccess:
+        sector, line, offset = self._split(address)
+        if sector >= self.num_flat_sectors:
+            raise ValueError(
+                f"address {address:#x} beyond the flat capacity "
+                f"({self.flat_capacity_bytes} bytes)")
+        latency = self.params.xta_latency_ns
+
+        entry = self.xta.lookup(sector)
+        if entry is not None:
+            self.counters.inc("xta.hits")
+            self.xta.record_access(entry)
+            if entry.in_near_memory or entry.line_valid(line):
+                return self._serve_line_hit(entry, line, offset, is_write,
+                                            now_ns, latency)
+            return self._serve_line_miss(entry, line, offset, is_write,
+                                         now_ns, latency)
+
+        self.counters.inc("xta.misses")
+        return self._serve_xta_miss(sector, line, offset, is_write, now_ns,
+                                    latency)
+
+    # -- 1a ------------------------------------------------------------
+    def _serve_line_hit(self, entry: XTAEntry, line: int, offset: int,
+                        is_write: bool, now_ns: float,
+                        latency: float) -> DcmcAccess:
+        self.counters.inc("line.hits")
+        nm_addr = self._nm_address(entry.nm_frame, offset)
+        result = self.near.access(nm_addr, is_write, now_ns, LINE_SIZE,
+                                  demand=True)
+        if is_write:
+            entry.set_dirty(line)
+        return DcmcAccess(latency + result.latency_ns, served_from_nm=True,
+                          path="xta-hit/line-hit")
+
+    # -- 1b ------------------------------------------------------------
+    def _serve_line_miss(self, entry: XTAEntry, line: int, offset: int,
+                         is_write: bool, now_ns: float,
+                         latency: float) -> DcmcAccess:
+        self.counters.inc("line.misses")
+        self.policy.note_demand_fm_access(now_ns)
+        line_offset = line * self.dram_line_bytes
+        fm_addr = self._fm_address(entry.fm_frame, line_offset)
+        fetched = self.far.transfer_block(fm_addr, self.dram_line_bytes, False,
+                                          now_ns, demand=True)
+        # Install the line in the NM frame backing this sector (background).
+        self.near.transfer_block(self._nm_address(entry.nm_frame, line_offset),
+                                 self.dram_line_bytes, True, now_ns,
+                                 demand=False)
+        entry.set_valid(line)
+        if is_write:
+            entry.set_dirty(line)
+        return DcmcAccess(latency + fetched.latency_ns, served_from_nm=False,
+                          path="xta-hit/line-miss")
+
+    # -- 2 -------------------------------------------------------------
+    def _serve_xta_miss(self, sector: int, line: int, offset: int,
+                        is_write: bool, now_ns: float,
+                        latency: float) -> DcmcAccess:
+        # The remap-table read is on the critical path: the sector's location
+        # must be known before the data can be fetched.
+        latency += self._metadata_access(sector, False, now_ns, critical=True)
+        location = self.remap.lookup(sector)
+
+        victim = self.xta.victim_way(sector)
+        if victim.allocated:
+            self._evict_entry(victim, now_ns)
+
+        if location.in_near:
+            # 2a: sector already lives in NM; link it to the XTA.
+            self.counters.inc("fills.sector_in_nm")
+            self.xta.allocate(victim, sector, nm_frame=location.frame,
+                              fm_frame=None)
+            result = self.near.access(self._nm_address(location.frame, offset),
+                                      is_write, now_ns, LINE_SIZE, demand=True)
+            return DcmcAccess(latency + result.latency_ns, served_from_nm=True,
+                              path="xta-miss/sector-in-nm")
+
+        # 2b: sector lives in FM; obtain a cache frame and fetch the line.
+        self.counters.inc("fills.sector_in_fm")
+        self.policy.note_demand_fm_access(now_ns)
+        frame = self._obtain_cache_frame(now_ns)
+        entry = self.xta.allocate(victim, sector, nm_frame=frame,
+                                  fm_frame=location.frame)
+        # Inverted remap table learns the sector's processor address now
+        # (Section 3.4), so the NM allocator can always resolve this frame.
+        self.remap.record_inverse_nm(frame, sector)
+        self._metadata_access(frame, True, now_ns, critical=False)
+
+        line_offset = line * self.dram_line_bytes
+        fetched = self.far.transfer_block(
+            self._fm_address(location.frame, line_offset),
+            self.dram_line_bytes, False, now_ns, demand=True)
+        self.near.transfer_block(self._nm_address(frame, line_offset),
+                                 self.dram_line_bytes, True, now_ns,
+                                 demand=False)
+        entry.set_valid(line)
+        if is_write:
+            entry.set_dirty(line)
+        return DcmcAccess(latency + fetched.latency_ns, served_from_nm=False,
+                          path="xta-miss/sector-in-fm")
+
+    # ------------------------------------------------------------------
+    # DRAM-cache eviction (Figure 9) and migration (Figure 10)
+    # ------------------------------------------------------------------
+    def _evict_entry(self, entry: XTAEntry, now_ns: float) -> None:
+        if entry.in_near_memory:
+            # Case 1: the sector already lives in NM; nothing moves.
+            self.counters.inc("evictions.nm_resident")
+            entry.clear()
+            return
+
+        verdict = self.policy.decide(
+            access_counter=entry.access_counter,
+            competing_counters=self.xta.competing_counters(entry.tag, entry),
+            valid_lines=entry.valid_lines(),
+            dirty_lines=entry.dirty_lines(),
+            now_ns=now_ns)
+
+        if verdict.migrate:
+            self._migrate_sector(entry, now_ns)
+        else:
+            self._evict_sector_to_fm(entry, now_ns, verdict)
+        entry.clear()
+
+    def _migrate_sector(self, entry: XTAEntry, now_ns: float) -> None:
+        """Complete the sector in NM and make its frame the permanent home."""
+        self.counters.inc("migrations")
+        missing = [l for l in range(self.lines_per_sector)
+                   if not entry.line_valid(l)]
+        for line in missing:
+            line_offset = line * self.dram_line_bytes
+            self.far.transfer_block(self._fm_address(entry.fm_frame, line_offset),
+                                    self.dram_line_bytes, False, now_ns,
+                                    demand=False)
+            self.near.transfer_block(self._nm_address(entry.nm_frame, line_offset),
+                                     self.dram_line_bytes, True, now_ns,
+                                     demand=False)
+        self.counters.inc("migrations.lines_fetched", len(missing))
+
+        old_fm_frame = entry.fm_frame
+        self.remap.assign_to_near(entry.tag, entry.nm_frame)
+        self._metadata_access(entry.tag, True, now_ns, critical=False)
+        if self.free_fm.push(old_fm_frame):
+            self._metadata_access(old_fm_frame, True, now_ns, critical=False)
+        self.frames.claim_for_flat(entry.nm_frame)
+
+    def _evict_sector_to_fm(self, entry: XTAEntry, now_ns: float,
+                            verdict: MigrationVerdict) -> None:
+        """Write dirty lines back to the sector's FM home and free the frame."""
+        self.counters.inc("evictions.to_fm")
+        self.counters.inc(f"evictions.{verdict.value}")
+        dirty = [l for l in range(self.lines_per_sector) if entry.line_dirty(l)]
+        for line in dirty:
+            line_offset = line * self.dram_line_bytes
+            self.near.transfer_block(self._nm_address(entry.nm_frame, line_offset),
+                                     self.dram_line_bytes, False, now_ns,
+                                     demand=False)
+            self.far.transfer_block(self._fm_address(entry.fm_frame, line_offset),
+                                    self.dram_line_bytes, True, now_ns,
+                                    demand=False)
+        self.counters.inc("evictions.lines_written_back", len(dirty))
+        self.frames.release_to_pool(entry.nm_frame)
+
+    # ------------------------------------------------------------------
+    # NM allocation (Figure 8)
+    # ------------------------------------------------------------------
+    def _obtain_cache_frame(self, now_ns: float) -> int:
+        frame = self.frames.take_from_pool()
+        if frame is not None:
+            return frame
+        return self._swap_allocate(now_ns)
+
+    def _swap_allocate(self, now_ns: float) -> int:
+        """Steal a flat NM frame by swapping its sector out to a free FM frame."""
+        for candidate in self.frames.victim_candidates():
+            # Inverted remap lookup to learn which sector lives there.
+            self._metadata_access(candidate, False, now_ns, critical=False)
+            victim_sector = self.remap.sector_at_nm_frame(candidate)
+            if victim_sector >= 0 and self.xta.probe(victim_sector) is not None:
+                # Sectors present in the DRAM cache must not be swapped out.
+                self.counters.inc("allocation.skipped_in_cache")
+                continue
+
+            self.counters.inc("allocation.swaps")
+            fm_frame, spilled = self.free_fm.pop()
+            if spilled:
+                self._metadata_access(fm_frame, False, now_ns, critical=False)
+            if victim_sector >= 0:
+                # Copy the whole victim sector from NM to the free FM frame.
+                self.near.transfer_block(self._nm_address(candidate),
+                                         self.sector_bytes, False, now_ns,
+                                         demand=False)
+                self.far.transfer_block(self._fm_address(fm_frame),
+                                        self.sector_bytes, True, now_ns,
+                                        demand=False)
+                self.remap.assign_to_far(victim_sector, fm_frame)
+                self._metadata_access(victim_sector, True, now_ns,
+                                      critical=False)
+            else:
+                # Defensive: an unmapped frame can be adopted without a swap,
+                # and the free FM frame goes back on the stack.
+                self.free_fm.push(fm_frame)
+            self.frames.adopt(candidate)
+            return candidate
+        raise RuntimeError("no near-memory frame available for the DRAM cache")
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def extra_stats(self, stats: Stats) -> None:
+        stats.merge(self.counters)
+        stats.set("xta.hit_rate", self.xta.hit_rate)
+        stats.set("xta.allocated", self.xta.allocated_entries())
+        stats.set("policy.migrations", self.policy.stats.migrations)
+        stats.set("policy.denied_counter", self.policy.stats.denied_by_counter)
+        stats.set("policy.denied_bandwidth", self.policy.stats.denied_by_bandwidth)
+        stats.set("frames.pool", self.frames.pool_size)
+        stats.set("frames.swap_allocations", self.frames.swap_allocations)
+        stats.set("free_fm_stack.depth", len(self.free_fm))
+        stats.set("free_fm_stack.max_depth", self.free_fm.max_depth)
+        stats.set("sectors_in_nm", self.remap.count_in_near())

@@ -1,0 +1,45 @@
+"""Hybrid2 memory system: the paper's proposed design as a
+:class:`~repro.baselines.base.MemorySystem`.
+
+The class is a thin adapter: it owns the near- and far-memory controllers
+and delegates every request to the :class:`~repro.core.dcmc.DCMC`, which
+implements the access path, eviction flow and migration decision.
+"""
+
+from __future__ import annotations
+
+from ..baselines.base import MemorySystem
+from ..common import AccessOutcome
+from ..params import SystemConfig
+from ..stats import Stats
+from .dcmc import DCMC
+
+
+class Hybrid2System(MemorySystem):
+    """Hybrid2: a small sectored DRAM cache plus flat-space migration."""
+
+    name = "HYBRID2"
+
+    def __init__(self, config: SystemConfig, *, migration_mode: str = "policy",
+                 model_metadata: bool = True, cache_only: bool = False,
+                 seed: int = 17) -> None:
+        super().__init__(config)
+        self._make_controllers(config.near, config.far)
+        self.dcmc = DCMC(config, self.near, self.far,
+                         migration_mode=migration_mode,
+                         model_metadata=model_metadata,
+                         cache_only=cache_only, seed=seed)
+
+    def access(self, address: int, is_write: bool, now_ns: float) -> AccessOutcome:
+        address = address % self.flat_capacity_bytes
+        result = self.dcmc.access(address, is_write, now_ns)
+        return self._outcome(result.latency_ns, result.served_from_nm,
+                             is_write, dram_cache_hit=result.served_from_nm,
+                             path=result.path)
+
+    @property
+    def flat_capacity_bytes(self) -> int:
+        return self.dcmc.flat_capacity_bytes
+
+    def _extra_stats(self, stats: Stats) -> None:
+        self.dcmc.extra_stats(stats)

@@ -1,0 +1,137 @@
+"""Near-memory frame bookkeeping for Hybrid2 (Section 3.5, Figure 8).
+
+The near memory is split — logically, never physically — into
+
+* a small reserved region for the remapping metadata,
+* an initial carve-out that seeds the DRAM cache's data frames at boot, and
+* the remaining frames, which are part of the flat address space.
+
+Because of indirection, any frame can end up backing DRAM-cache data or
+holding a flat-space sector over time.  :class:`NMFramePool` tracks which
+frames the cache currently owns (free pool + frames backing cached sectors)
+and implements the FIFO "NM counter" used to pick swap victims when a new
+cache frame must be carved out of the flat space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set
+
+
+class NMFramePool:
+    """Tracks ownership of near-memory frames (sector granularity)."""
+
+    def __init__(self, total_frames: int, metadata_frames: int,
+                 carveout_frames: int) -> None:
+        if metadata_frames + carveout_frames > total_frames:
+            raise ValueError(
+                "metadata + carve-out frames exceed the near memory "
+                f"({metadata_frames} + {carveout_frames} > {total_frames})")
+        self.total_frames = total_frames
+        self.metadata_frames = metadata_frames
+        self.carveout_frames = carveout_frames
+
+        first_usable = metadata_frames
+        self._usable = list(range(first_usable, total_frames))
+        #: frames currently free for the DRAM cache to use
+        self._pool: List[int] = list(range(first_usable,
+                                           first_usable + carveout_frames))
+        #: frames the cache owns (free pool + frames backing cached sectors)
+        self._cache_owned: Set[int] = set(self._pool)
+        #: FIFO pointer over the usable frames (Section 3.5's NM counter)
+        self._fifo_index = 0
+
+        self.swap_allocations = 0
+
+    # ------------------------------------------------------------------
+    # static partition
+    # ------------------------------------------------------------------
+    @property
+    def flat_frames(self) -> List[int]:
+        """Frames initially part of the flat address space."""
+        start = self.metadata_frames + self.carveout_frames
+        return list(range(start, self.total_frames))
+
+    @property
+    def usable_frames(self) -> int:
+        return len(self._usable)
+
+    # ------------------------------------------------------------------
+    # pool operations
+    # ------------------------------------------------------------------
+    def take_from_pool(self) -> Optional[int]:
+        """Grab a free cache frame, or ``None`` when the pool is empty."""
+        if not self._pool:
+            return None
+        return self._pool.pop()
+
+    def release_to_pool(self, frame: int) -> None:
+        """A cached sector was evicted (not migrated): its frame is free again."""
+        if frame not in self._cache_owned:
+            raise ValueError(f"frame {frame} is not cache-owned")
+        self._pool.append(frame)
+
+    def claim_for_flat(self, frame: int) -> None:
+        """A cached sector was migrated: its frame becomes a flat-space home."""
+        if frame not in self._cache_owned:
+            raise ValueError(f"frame {frame} is not cache-owned")
+        self._cache_owned.discard(frame)
+
+    def adopt(self, frame: int) -> None:
+        """A flat-space frame was swapped out and now backs cache data."""
+        if frame in self._cache_owned:
+            raise ValueError(f"frame {frame} is already cache-owned")
+        if frame < self.metadata_frames:
+            raise ValueError(f"frame {frame} is reserved for metadata")
+        self._cache_owned.add(frame)
+        self.swap_allocations += 1
+
+    def is_cache_owned(self, frame: int) -> bool:
+        return frame in self._cache_owned
+
+    # ------------------------------------------------------------------
+    # FIFO victim candidates (Figure 8)
+    # ------------------------------------------------------------------
+    def victim_candidates(self, limit: Optional[int] = None) -> Iterator[int]:
+        """Yield flat-space frames in FIFO order, skipping cache-owned frames.
+
+        The FIFO pointer advances past every candidate yielded, so repeated
+        allocations continue the sweep where the previous one stopped (the
+        paper's wrap-around NM counter).  The caller is responsible for the
+        XTA check and for stopping once it accepts a candidate.
+        """
+        if not self._usable:
+            return
+        attempts = 0
+        max_attempts = limit if limit is not None else 2 * len(self._usable)
+        while attempts < max_attempts:
+            frame = self._usable[self._fifo_index % len(self._usable)]
+            self._fifo_index += 1
+            attempts += 1
+            if frame in self._cache_owned:
+                continue
+            yield frame
+
+    # ------------------------------------------------------------------
+    # accounting / invariants
+    # ------------------------------------------------------------------
+    @property
+    def pool_size(self) -> int:
+        return len(self._pool)
+
+    @property
+    def cache_owned_count(self) -> int:
+        return len(self._cache_owned)
+
+    @property
+    def backing_count(self) -> int:
+        """Frames currently backing cached sectors (owned but not free)."""
+        return len(self._cache_owned) - len(self._pool)
+
+    def check_invariants(self) -> bool:
+        """The free pool is always a subset of the cache-owned frames and no
+        metadata frame is ever handed out."""
+        if not set(self._pool) <= self._cache_owned:
+            return False
+        return all(f >= self.metadata_frames for f in self._cache_owned)

@@ -1,0 +1,66 @@
+"""Hybrid2 ablation variants used in the Figure 14 breakdown.
+
+The paper attributes Hybrid2's performance to its components by evaluating:
+
+* **Cache-Only** — the 64 MB sectored DRAM cache alone, no migration, no
+  address-translation overheads (and no NM capacity in the flat space);
+* **Migr-All** — Hybrid2 that migrates *every* sector evicted from the cache;
+* **Migr-None** — Hybrid2 that never migrates;
+* **No-Remap** — Hybrid2 with all remapping-metadata accesses completing
+  instantly (neither latency nor NM traffic);
+* **Hybrid2** — the full design.
+
+Each factory returns a fresh :class:`~repro.core.hybrid2.Hybrid2System`
+configured accordingly, so the breakdown bench can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..params import SystemConfig
+from .hybrid2 import Hybrid2System
+
+
+def cache_only(config: SystemConfig, seed: int = 17) -> Hybrid2System:
+    """The sectored DRAM cache alone (no migration, no remap overheads)."""
+    system = Hybrid2System(config, cache_only=True, model_metadata=False,
+                           seed=seed)
+    system.name = "CACHE-ONLY"
+    return system
+
+
+def migrate_all(config: SystemConfig, seed: int = 17) -> Hybrid2System:
+    """Hybrid2 migrating every sector evicted from the DRAM cache."""
+    system = Hybrid2System(config, migration_mode="all", seed=seed)
+    system.name = "MIGR-ALL"
+    return system
+
+
+def migrate_none(config: SystemConfig, seed: int = 17) -> Hybrid2System:
+    """Hybrid2 that never migrates (cache plus flat space only)."""
+    system = Hybrid2System(config, migration_mode="none", seed=seed)
+    system.name = "MIGR-NONE"
+    return system
+
+
+def no_remap(config: SystemConfig, seed: int = 17) -> Hybrid2System:
+    """Hybrid2 with free (instant, traffic-less) metadata accesses."""
+    system = Hybrid2System(config, model_metadata=False, seed=seed)
+    system.name = "NO-REMAP"
+    return system
+
+
+def full(config: SystemConfig, seed: int = 17) -> Hybrid2System:
+    """The complete Hybrid2 design."""
+    return Hybrid2System(config, seed=seed)
+
+
+#: Factories in the order Figure 14 reports them.
+BREAKDOWN_VARIANTS: Dict[str, Callable[[SystemConfig], Hybrid2System]] = {
+    "CACHE-ONLY": cache_only,
+    "MIGR-ALL": migrate_all,
+    "MIGR-NONE": migrate_none,
+    "NO-REMAP": no_remap,
+    "HYBRID2": full,
+}

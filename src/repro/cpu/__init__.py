@@ -1,0 +1,6 @@
+"""Processor substrate: trace records and the interval core timing model."""
+
+from .core import CoreStats, IntervalCore
+from .trace import Trace, TraceRecord, interleave
+
+__all__ = ["CoreStats", "IntervalCore", "Trace", "TraceRecord", "interleave"]

@@ -1,0 +1,95 @@
+"""Trace record types and helpers.
+
+A trace is a stream of :class:`TraceRecord` objects.  Each record describes
+one memory reference together with the number of non-memory instructions the
+core executed since the previous reference (the "gap"), which is what the
+interval core model needs to reconstruct time.
+
+Two levels of trace are used in this repository:
+
+* **processor-level** traces (every load/store) that are filtered through the
+  SRAM :class:`~repro.cache.CacheHierarchy` before reaching the memory
+  system; and
+* **memory-level** traces (already LLC-filtered) produced directly by the
+  workload generators, where ``gap`` counts the instructions between LLC
+  misses.  These are what the benchmark harness uses, because they let a
+  Python model cover the paper's full design-space sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory reference plus the instruction gap preceding it."""
+
+    gap_instructions: int
+    address: int
+    is_write: bool
+    core_id: int = 0
+    #: True when the record represents a dirty writeback rather than a
+    #: demand reference (memory-level traces only).
+    is_writeback: bool = False
+
+
+class Trace:
+    """A materialised trace with convenience statistics."""
+
+    def __init__(self, records: Iterable[TraceRecord]) -> None:
+        self.records: List[TraceRecord] = list(records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions represented (gaps plus one per reference)."""
+        return sum(r.gap_instructions + 1 for r in self.records)
+
+    @property
+    def demand_references(self) -> int:
+        return sum(1 for r in self.records if not r.is_writeback)
+
+    @property
+    def write_fraction(self) -> float:
+        demand = [r for r in self.records if not r.is_writeback]
+        if not demand:
+            return 0.0
+        return sum(1 for r in demand if r.is_write) / len(demand)
+
+    def footprint_bytes(self, granularity: int = 64) -> int:
+        """Number of distinct ``granularity`` blocks touched, in bytes."""
+        blocks = {r.address // granularity for r in self.records}
+        return len(blocks) * granularity
+
+    def mpki(self) -> float:
+        """Memory references per kilo-instruction of this trace."""
+        instr = self.instructions
+        if instr == 0:
+            return 0.0
+        return self.demand_references / (instr / 1000.0)
+
+
+def interleave(traces: List[Trace]) -> Iterator[TraceRecord]:
+    """Round-robin interleave several per-core traces.
+
+    Used to build a multi-programmed stream from single-core traces, mirroring
+    the paper's eight-copies-of-the-same-benchmark methodology.
+    """
+    iterators = [iter(t) for t in traces]
+    live = list(range(len(iterators)))
+    while live:
+        finished = []
+        for idx in live:
+            try:
+                yield next(iterators[idx])
+            except StopIteration:
+                finished.append(idx)
+        for idx in finished:
+            live.remove(idx)

@@ -1,0 +1,22 @@
+"""DRAM substrate: timing, banks, channels, devices, controllers, energy.
+
+This package is the reproduction's stand-in for DRAMSim2: an event-based
+(bank/row-buffer/bus timestamp) model of the HBM2 near memory and the
+DDR4-3200 far memory configured in Table 1 of the paper.
+"""
+
+from .bank import Bank
+from .channel import Channel
+from .controller import MemoryController
+from .device import DramDevice
+from .energy import EnergyModel
+from .timing import DramTimings
+
+__all__ = [
+    "Bank",
+    "Channel",
+    "MemoryController",
+    "DramDevice",
+    "EnergyModel",
+    "DramTimings",
+]

@@ -1,0 +1,134 @@
+"""Memory controller front-end for a DRAM device.
+
+The controller is the interface every memory-system design uses to talk to
+the near and far memories.  It adds a fixed controller pipeline overhead,
+distinguishes demand traffic (processor requests) from background traffic
+(fills, writebacks, migrations, metadata) and exposes convenience helpers
+for multi-line transfers such as sector migrations and page fills.
+"""
+
+from __future__ import annotations
+
+from ..common import LINE_SIZE, DeviceAccess
+from ..params import DramParams
+from .device import DramDevice
+
+
+class MemoryController:
+    """Issues requests to one :class:`DramDevice` and keeps traffic accounts."""
+
+    #: Fixed controller/queueing pipeline overhead added to every access.
+    CONTROLLER_OVERHEAD_NS = 2.0
+
+    def __init__(self, params: DramParams) -> None:
+        self.device = DramDevice(params)
+        self.demand_bytes = 0
+        self.background_bytes = 0
+        self.metadata_bytes = 0
+
+    @property
+    def name(self) -> str:
+        return self.device.params.name
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.device.params.capacity_bytes
+
+    # ------------------------------------------------------------------
+    # single accesses
+    # ------------------------------------------------------------------
+    def access(self, address: int, is_write: bool, now_ns: float,
+               nbytes: int = LINE_SIZE, demand: bool = True,
+               metadata: bool = False) -> DeviceAccess:
+        """Issue one access and classify its traffic.
+
+        ``demand`` marks processor-critical accesses; everything else
+        (fills beyond the critical line, writebacks, migrations) is
+        background traffic.  ``metadata`` additionally tags remap-table
+        style bookkeeping traffic so it can be reported separately.
+        """
+        result = self.device.access(address, nbytes, is_write, now_ns)
+        result = DeviceAccess(
+            latency_ns=result.latency_ns + self.CONTROLLER_OVERHEAD_NS,
+            row_hit=result.row_hit,
+            energy_pj=result.energy_pj,
+            completion_ns=result.completion_ns + self.CONTROLLER_OVERHEAD_NS,
+        )
+        if metadata:
+            self.metadata_bytes += nbytes
+        elif demand:
+            self.demand_bytes += nbytes
+        else:
+            self.background_bytes += nbytes
+        return result
+
+    # ------------------------------------------------------------------
+    # bulk helpers
+    # ------------------------------------------------------------------
+    def transfer_block(self, address: int, nbytes: int, is_write: bool,
+                       now_ns: float, demand: bool = False) -> DeviceAccess:
+        """Move a contiguous block (sector/page) as a streaming transfer.
+
+        The block is issued as consecutive line-sized bursts; the returned
+        latency is the time until the *first* line is available (critical
+        word first) while bus occupancy accounts for the whole block.
+        """
+        lines = max(1, nbytes // LINE_SIZE)
+        first = self.access(address, is_write, now_ns, LINE_SIZE, demand=demand)
+        for i in range(1, lines):
+            self.access(address + i * LINE_SIZE, is_write, now_ns,
+                        LINE_SIZE, demand=False)
+        return first
+
+    # ------------------------------------------------------------------
+    # measurement control
+    # ------------------------------------------------------------------
+    def reset_counters(self) -> None:
+        """Zero the traffic/energy/event counters (used after warm-up).
+
+        Timing state (open rows, bus/bank occupancy) is deliberately kept so
+        the measured region continues from a warmed-up device.
+        """
+        self.demand_bytes = 0
+        self.background_bytes = 0
+        self.metadata_bytes = 0
+        device = self.device
+        device.reads = 0
+        device.writes = 0
+        device.traffic.read_bytes = 0
+        device.traffic.write_bytes = 0
+        device.energy.counter.rw_pj = 0.0
+        device.energy.counter.act_pre_pj = 0.0
+        for channel in device.channels:
+            for bank in channel.banks:
+                bank.row_hits = 0
+                bank.row_misses = 0
+                bank.activations = 0
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self.device.traffic.total_bytes
+
+    @property
+    def read_bytes(self) -> int:
+        return self.device.traffic.read_bytes
+
+    @property
+    def write_bytes(self) -> int:
+        return self.device.traffic.write_bytes
+
+    @property
+    def energy_pj(self) -> float:
+        return self.device.energy.total_pj
+
+    def summary(self) -> dict:
+        out = self.device.summary()
+        out.update({
+            "demand_bytes": self.demand_bytes,
+            "background_bytes": self.background_bytes,
+            "metadata_bytes": self.metadata_bytes,
+        })
+        return out

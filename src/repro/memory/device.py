@@ -1,0 +1,130 @@
+"""Event-based DRAM device model.
+
+A :class:`DramDevice` maps physical addresses onto channels, banks and rows
+and computes, for each access, a completion time from
+
+* the bank's readiness (previous command to the same bank),
+* the row-buffer state (hit / miss / empty),
+* the channel data bus occupancy (this is what bounds bandwidth), and
+* the burst transfer time of the requested number of bytes.
+
+There is no cycle loop: state is a handful of timestamps advanced per
+request, which captures the latency/bandwidth asymmetry between HBM2 and
+DDR4 (the first-order effect behind every result in the paper) while staying
+fast enough for Python.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common import DeviceAccess, TrafficCounter
+from ..params import DramParams
+from .channel import Channel
+from .energy import EnergyModel
+from .timing import DramTimings
+
+
+class DramDevice:
+    """One DRAM device (the near memory or the far memory)."""
+
+    def __init__(self, params: DramParams) -> None:
+        self.params = params
+        self.timings = DramTimings.from_params(params)
+        self.channels: List[Channel] = [
+            Channel.with_banks(params.banks_per_channel)
+            for _ in range(params.channels)
+        ]
+        self.energy = EnergyModel.from_params(params)
+        self.traffic = TrafficCounter()
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # address mapping
+    # ------------------------------------------------------------------
+    def locate(self, address: int) -> tuple[int, int, int]:
+        """Map a byte address to ``(channel, bank, row)``.
+
+        Channels interleave at ``channel_interleave_bytes`` granularity so
+        that streaming accesses spread over all channels; banks interleave
+        at row granularity within a channel.
+        """
+        p = self.params
+        chunk = address // p.channel_interleave_bytes
+        channel = chunk % p.channels
+        row_global = address // p.row_bytes
+        bank = (row_global // p.channels) % p.banks_per_channel
+        row = row_global // (p.channels * p.banks_per_channel)
+        return channel, bank, row
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def access(self, address: int, nbytes: int, is_write: bool,
+               now_ns: float) -> DeviceAccess:
+        """Issue one access of ``nbytes`` starting at ``address``.
+
+        Returns the request latency (time from ``now_ns`` until the data has
+        fully transferred), whether it was a row-buffer hit, and the dynamic
+        energy it consumed.  Device state (bank rows, bus occupancy, energy
+        and traffic counters) is updated as a side effect.
+        """
+        if nbytes <= 0:
+            raise ValueError("access size must be positive")
+        channel_idx, bank_idx, row = self.locate(address)
+        channel = self.channels[channel_idx]
+        bank = channel.banks[bank_idx]
+
+        kind = bank.classify(row)
+        if kind == "hit":
+            array_latency = self.timings.row_hit_latency_ns()
+        elif kind == "empty":
+            array_latency = self.timings.row_empty_latency_ns()
+        else:
+            array_latency = self.timings.row_miss_latency_ns()
+
+        ready = max(now_ns, bank.ready_at_ns)
+        data_ready = ready + array_latency
+        burst = self.timings.burst_ns(nbytes)
+        transfer_start = channel.reserve_bus(data_ready, burst)
+        completion = transfer_start + burst
+
+        bank.ready_at_ns = completion
+        bank.record(row, kind)
+
+        energy_pj = self.energy.transfer(nbytes)
+        if kind != "hit":
+            energy_pj += self.energy.activate()
+        self.traffic.add(is_write, nbytes)
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+
+        return DeviceAccess(
+            latency_ns=completion - now_ns,
+            row_hit=(kind == "hit"),
+            energy_pj=energy_pj,
+            completion_ns=completion,
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def row_hit_rate(self) -> float:
+        hits = sum(b.row_hits for c in self.channels for b in c.banks)
+        total = hits + sum(b.row_misses for c in self.channels for b in c.banks)
+        return hits / total if total else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "name": self.params.name,
+            "reads": self.reads,
+            "writes": self.writes,
+            "read_bytes": self.traffic.read_bytes,
+            "write_bytes": self.traffic.write_bytes,
+            "row_hit_rate": self.row_hit_rate,
+            "energy_pj": self.energy.total_pj,
+        }

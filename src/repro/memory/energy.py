@@ -1,0 +1,45 @@
+"""Dynamic-energy accounting for DRAM devices.
+
+The paper reports dynamic memory energy only (Figure 18) using per-bit
+read/write+I/O energy and per-activation ACT/PRE energy from Table 1;
+refresh/static energy is explicitly excluded, and we follow that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common import EnergyCounter
+from ..params import DramParams
+
+
+@dataclass
+class EnergyModel:
+    """Accumulates dynamic energy for one DRAM device."""
+
+    rw_pj_per_bit: float
+    act_pre_pj: float
+    counter: EnergyCounter
+
+    @classmethod
+    def from_params(cls, params: DramParams) -> "EnergyModel":
+        return cls(
+            rw_pj_per_bit=params.rw_energy_pj_per_bit,
+            act_pre_pj=params.act_pre_energy_nj * 1000.0,
+            counter=EnergyCounter(),
+        )
+
+    def transfer(self, nbytes: int) -> float:
+        """Account the read/write + I/O energy of an ``nbytes`` transfer."""
+        pj = self.rw_pj_per_bit * nbytes * 8
+        self.counter.add(rw_pj=pj)
+        return pj
+
+    def activate(self) -> float:
+        """Account one row activation + precharge pair."""
+        self.counter.add(act_pre_pj=self.act_pre_pj)
+        return self.act_pre_pj
+
+    @property
+    def total_pj(self) -> float:
+        return self.counter.total_pj

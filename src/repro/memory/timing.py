@@ -1,0 +1,52 @@
+"""Derived DRAM timing quantities.
+
+:class:`DramTimings` converts the cycle-count parameters of a
+:class:`repro.params.DramParams` into nanosecond latencies and transfer
+times so the rest of the memory model never has to think about clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import DramParams
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Nanosecond-domain timing view of one DRAM device."""
+
+    clock_ns: float
+    tcas_ns: float
+    trcd_ns: float
+    trp_ns: float
+    #: Time to move one byte over one channel's data bus (DDR: 2/cycle).
+    ns_per_byte: float
+
+    @classmethod
+    def from_params(cls, params: DramParams) -> "DramTimings":
+        clock_ns = params.clock_ns
+        bytes_per_cycle = (params.bus_bits / 8) * 2  # double data rate
+        return cls(
+            clock_ns=clock_ns,
+            tcas_ns=params.tcas_cycles * clock_ns,
+            trcd_ns=params.trcd_cycles * clock_ns,
+            trp_ns=params.trp_cycles * clock_ns,
+            ns_per_byte=clock_ns / bytes_per_cycle,
+        )
+
+    def row_hit_latency_ns(self) -> float:
+        """Column access only: the row is already open."""
+        return self.tcas_ns
+
+    def row_miss_latency_ns(self) -> float:
+        """Precharge the open row, activate the new one, then column access."""
+        return self.trp_ns + self.trcd_ns + self.tcas_ns
+
+    def row_empty_latency_ns(self) -> float:
+        """Activate into an idle (precharged) bank, then column access."""
+        return self.trcd_ns + self.tcas_ns
+
+    def burst_ns(self, nbytes: int) -> float:
+        """Data-bus occupancy for an ``nbytes`` transfer on one channel."""
+        return nbytes * self.ns_per_byte

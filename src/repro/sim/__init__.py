@@ -1,0 +1,15 @@
+"""Simulation harness: the simulator, metrics, experiment runner and tables."""
+
+from . import metrics, tables
+from .runner import ExperimentRunner, SweepResult
+from .simulator import RunResult, Simulator, simulate
+
+__all__ = [
+    "metrics",
+    "tables",
+    "ExperimentRunner",
+    "SweepResult",
+    "RunResult",
+    "Simulator",
+    "simulate",
+]

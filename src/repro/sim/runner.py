@@ -1,0 +1,141 @@
+"""Experiment runner: sweeps of designs x workloads x configurations.
+
+The benchmark harness (one bench per paper table/figure) and the examples
+all drive their sweeps through :class:`ExperimentRunner`, which takes care
+of instantiating a *fresh* memory system per run (state never leaks between
+runs), simulating the no-NM baseline once per workload for normalisation,
+and caching results within a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..baselines import DESIGN_FACTORIES, make_design
+from ..baselines.base import MemorySystem
+from ..baselines.fm_only import FarMemoryOnly
+from ..params import SystemConfig, make_config
+from ..workloads.catalog import get_workload
+from ..workloads.synthetic import WorkloadSpec
+from . import metrics
+from .simulator import RunResult, simulate
+
+DesignSpec = Union[str, Callable[[SystemConfig], MemorySystem]]
+
+
+@dataclass
+class SweepResult:
+    """All runs of one sweep, indexed by (design, workload)."""
+
+    config: SystemConfig
+    runs: Dict[tuple, RunResult] = field(default_factory=dict)
+    baselines: Dict[str, RunResult] = field(default_factory=dict)
+
+    def run_for(self, design: str, workload: str) -> RunResult:
+        return self.runs[(design, workload)]
+
+    def speedups(self, design: str) -> Dict[str, float]:
+        """Per-workload speedup over the no-NM baseline for one design."""
+        out = {}
+        for (d, workload), result in self.runs.items():
+            if d == design and workload in self.baselines:
+                out[workload] = metrics.speedup(result, self.baselines[workload])
+        return out
+
+    def class_speedups(self, design: str) -> Dict[str, float]:
+        return metrics.group_by_class(self.speedups(design))
+
+    def per_workload_metric(self, design: str,
+                            fn: Callable[[RunResult, RunResult], float]) -> Dict[str, float]:
+        """Apply ``fn(result, baseline_result)`` per workload for one design."""
+        out = {}
+        for (d, workload), result in self.runs.items():
+            if d == design and workload in self.baselines:
+                out[workload] = fn(result, self.baselines[workload])
+        return out
+
+
+class ExperimentRunner:
+    """Runs designs over workloads at a fixed trace length and scale."""
+
+    def __init__(self, *, num_references: int = 40_000, scale: int = 256,
+                 fm_gb: int = 16, seed: int = 1,
+                 num_cores: Optional[int] = None) -> None:
+        self.num_references = num_references
+        self.scale = scale
+        self.fm_gb = fm_gb
+        self.seed = seed
+        self.num_cores = num_cores
+
+    # ------------------------------------------------------------------
+    # configuration helpers
+    # ------------------------------------------------------------------
+    def config_for(self, nm_gb: int, **overrides) -> SystemConfig:
+        return make_config(nm_gb=nm_gb, fm_gb=self.fm_gb, scale=self.scale,
+                           **overrides)
+
+    def _resolve_workload(self, workload: Union[str, WorkloadSpec]) -> WorkloadSpec:
+        if isinstance(workload, WorkloadSpec):
+            return workload
+        return get_workload(workload)
+
+    def _build(self, design: DesignSpec, config: SystemConfig) -> MemorySystem:
+        if callable(design):
+            return design(config)
+        return make_design(design, config)
+
+    # ------------------------------------------------------------------
+    # single runs
+    # ------------------------------------------------------------------
+    def run_one(self, design: DesignSpec, workload: Union[str, WorkloadSpec],
+                config: SystemConfig) -> RunResult:
+        """Simulate one design on one workload with a fresh memory system."""
+        spec = self._resolve_workload(workload)
+        system = self._build(design, config)
+        return simulate(system, spec, num_references=self.num_references,
+                        seed=self.seed, num_cores=self.num_cores)
+
+    def run_baseline(self, workload: Union[str, WorkloadSpec],
+                     config: SystemConfig) -> RunResult:
+        """Simulate the no-NM baseline (used for every normalisation)."""
+        spec = self._resolve_workload(workload)
+        system = FarMemoryOnly(config)
+        return simulate(system, spec, num_references=self.num_references,
+                        seed=self.seed, num_cores=self.num_cores)
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+    def sweep(self, designs: Sequence[DesignSpec],
+              workloads: Sequence[Union[str, WorkloadSpec]],
+              nm_gb: int = 1, config: Optional[SystemConfig] = None,
+              design_names: Optional[Sequence[str]] = None) -> SweepResult:
+        """Run every design on every workload plus the baseline per workload."""
+        config = config or self.config_for(nm_gb)
+        names = list(design_names) if design_names else [
+            d if isinstance(d, str) else getattr(d, "__name__", f"design{i}")
+            for i, d in enumerate(designs)
+        ]
+        sweep = SweepResult(config=config)
+        for workload in workloads:
+            spec = self._resolve_workload(workload)
+            sweep.baselines[spec.name] = self.run_baseline(spec, config)
+            for design, name in zip(designs, names):
+                result = self.run_one(design, spec, config)
+                # Index by the caller-provided label so sweeps over factories
+                # that share a design name (e.g. DFC at several line sizes)
+                # stay distinguishable.
+                sweep.runs[(name, spec.name)] = result
+        return sweep
+
+    def sweep_designs_by_name(self, design_names: Sequence[str],
+                              workloads: Sequence[Union[str, WorkloadSpec]],
+                              nm_gb: int = 1) -> SweepResult:
+        """Convenience wrapper: designs given by their paper labels."""
+        unknown = [d for d in design_names if d.upper() not in DESIGN_FACTORIES]
+        if unknown:
+            raise KeyError(f"unknown designs: {unknown}")
+        return self.sweep([d.upper() for d in design_names], workloads,
+                          nm_gb=nm_gb,
+                          design_names=[d.upper() for d in design_names])

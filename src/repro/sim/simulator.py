@@ -1,0 +1,204 @@
+"""Trace-driven simulation of one memory-system design.
+
+Two entry points are provided:
+
+* :func:`simulate` — the fast path used by the benchmark harness.  It drives
+  *memory-level* traces (already LLC-filtered, produced by the workload
+  generators) through the interval core model and the memory system under
+  test.  This is what makes the paper's large design-space sweeps tractable
+  in pure Python.
+* :class:`Simulator` — the full path: *processor-level* traces are filtered
+  through the SRAM cache hierarchy first, LLC misses and dirty evictions
+  reach the memory system.  It is slower and is used by the integration
+  tests and examples that want the complete pipeline.
+
+Both produce a :class:`RunResult` with the counters every figure of the
+evaluation is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..baselines.base import MemorySystem
+from ..cache.hierarchy import CacheHierarchy
+from ..cpu.core import IntervalCore
+from ..cpu.trace import Trace, TraceRecord
+from ..stats import Stats
+from ..workloads.synthetic import WorkloadSpec, generate_multiprogrammed
+
+
+@dataclass
+class RunResult:
+    """Outcome of simulating one workload on one memory-system design."""
+
+    design: str
+    workload: str
+    cycles: float
+    instructions: int
+    references: int
+    nm_service_ratio: float
+    nm_traffic_bytes: float
+    fm_traffic_bytes: float
+    energy_pj: float
+    flat_capacity_bytes: int
+    stats: Stats = field(default_factory=Stats)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def time_ns(self) -> float:
+        """Wall-clock time of the simulated region (3.2 GHz cores)."""
+        return self.cycles / 3.2
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Speedup of this run relative to ``baseline`` (same workload)."""
+        if self.cycles == 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+
+def _collect_result(system: MemorySystem, cores: Sequence[IntervalCore],
+                    workload_name: str, references: int,
+                    cycles_offset: float = 0.0,
+                    instruction_offset: int = 0) -> RunResult:
+    stats = system.collect_stats()
+    cycles = max((core.time_cycles for core in cores), default=0.0) - cycles_offset
+    instructions = sum(core.stats.instructions for core in cores) - instruction_offset
+    return RunResult(
+        design=system.name,
+        workload=workload_name,
+        cycles=cycles,
+        instructions=instructions,
+        references=references,
+        nm_service_ratio=system.nm_service_ratio,
+        nm_traffic_bytes=stats.get("nm.bytes"),
+        fm_traffic_bytes=stats.get("fm.bytes"),
+        energy_pj=stats.get("energy_pj"),
+        flat_capacity_bytes=system.flat_capacity_bytes,
+        stats=stats,
+    )
+
+
+def simulate(system: MemorySystem,
+             workload: Union[WorkloadSpec, Trace, Sequence[Trace]],
+             num_references: int = 50_000, *, seed: int = 1,
+             num_cores: Optional[int] = None,
+             llc_latency_cycles: int = 14,
+             warmup_fraction: float = 0.25) -> RunResult:
+    """Drive a memory-level trace through ``system`` (fast path).
+
+    ``workload`` may be a :class:`WorkloadSpec` (a per-core trace is
+    generated for each core following the paper's eight-copy methodology), a
+    single :class:`Trace`, or one trace per core.
+
+    The first ``warmup_fraction`` of every core's trace warms the structures
+    (DRAM caches, XTA, remap state); counters are then reset so the reported
+    cycles, traffic and energy describe the measured region only — the usual
+    SimPoint-style methodology.
+    """
+    config = system.config
+    cores_wanted = num_cores or config.cores.num_cores
+
+    if isinstance(workload, WorkloadSpec):
+        per_core = max(1, num_references // cores_wanted)
+        traces = generate_multiprogrammed(
+            workload, per_core, num_cores=cores_wanted, scale=config.scale,
+            seed=seed, address_limit=system.flat_capacity_bytes)
+        name = workload.name
+    elif isinstance(workload, Trace):
+        traces = [workload]
+        name = "trace"
+    else:
+        traces = list(workload)
+        name = "trace"
+
+    cores = [IntervalCore(config.cores, i) for i in range(len(traces))]
+    iterators = [iter(t) for t in traces]
+    live = list(range(len(iterators)))
+    total_records = sum(len(t) for t in traces)
+    warmup_records = int(total_records * max(0.0, min(0.9, warmup_fraction)))
+    processed = 0
+    references = 0
+    cycles_offset = 0.0
+    instruction_offset = 0
+    measuring = warmup_records == 0
+    while live:
+        finished = []
+        for idx in live:
+            try:
+                record = next(iterators[idx])
+            except StopIteration:
+                finished.append(idx)
+                continue
+            core = cores[idx]
+            core.execute(record.gap_instructions)
+            outcome = system.access(record.address, record.is_write, core.time_ns)
+            core.memory_miss(outcome.latency_ns,
+                             sram_latency_cycles=llc_latency_cycles)
+            processed += 1
+            if measuring:
+                references += 1
+            elif processed >= warmup_records:
+                measuring = True
+                system.reset_measurement()
+                cycles_offset = max(c.time_cycles for c in cores)
+                instruction_offset = sum(c.stats.instructions for c in cores)
+        for idx in finished:
+            live.remove(idx)
+
+    return _collect_result(system, cores, name, references, cycles_offset,
+                           instruction_offset)
+
+
+class Simulator:
+    """Full pipeline: processor-level traces -> SRAM hierarchy -> memory system."""
+
+    def __init__(self, system: MemorySystem,
+                 hierarchy: Optional[CacheHierarchy] = None) -> None:
+        self.system = system
+        config = system.config
+        self.hierarchy = hierarchy or CacheHierarchy(
+            config.cores, config.l1, config.l2, config.l3)
+        self.cores = [IntervalCore(config.cores, i)
+                      for i in range(config.cores.num_cores)]
+        self.references = 0
+
+    def run(self, traces: Sequence[Trace],
+            workload_name: str = "trace") -> RunResult:
+        """Interleave ``traces`` (one per core) through the full pipeline."""
+        if len(traces) > len(self.cores):
+            raise ValueError("more traces than cores")
+        iterators = [iter(t) for t in traces]
+        live = list(range(len(iterators)))
+        while live:
+            finished = []
+            for idx in live:
+                try:
+                    record = next(iterators[idx])
+                except StopIteration:
+                    finished.append(idx)
+                    continue
+                self._step(idx, record)
+            for idx in finished:
+                live.remove(idx)
+        return _collect_result(self.system, self.cores, workload_name,
+                               self.references)
+
+    def _step(self, core_id: int, record: TraceRecord) -> None:
+        core = self.cores[core_id]
+        core.execute(record.gap_instructions)
+        self.references += 1
+        result = self.hierarchy.access(core_id, record.address, record.is_write)
+        for victim in result.writebacks:
+            self.system.writeback(victim, core.time_ns)
+        if result.llc_miss:
+            outcome = self.system.access(record.address, record.is_write,
+                                         core.time_ns)
+            core.memory_miss(outcome.latency_ns,
+                             sram_latency_cycles=result.latency_cycles)
+        else:
+            core.sram_hit(result.latency_cycles)

@@ -1,0 +1,21 @@
+"""Workload substrate: synthetic generators and the Table 2 catalog."""
+
+from .catalog import (MPKI_CLASSES, WORKLOADS, all_workload_names,
+                      get_workload, representative_workloads,
+                      workloads_by_class)
+from .synthetic import (WorkloadSpec, generate_multiprogrammed, generate_trace,
+                        random_pattern, stream_pattern)
+
+__all__ = [
+    "MPKI_CLASSES",
+    "WORKLOADS",
+    "all_workload_names",
+    "get_workload",
+    "representative_workloads",
+    "workloads_by_class",
+    "WorkloadSpec",
+    "generate_multiprogrammed",
+    "generate_trace",
+    "random_pattern",
+    "stream_pattern",
+]

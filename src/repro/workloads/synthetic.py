@@ -1,0 +1,205 @@
+"""Synthetic workload generators.
+
+The paper drives its evaluation with SPEC CPU2017 (eight copies per
+workload) and the NAS parallel benchmarks; neither the binaries nor their
+traces can be redistributed here.  The policies under evaluation, however,
+only react to a handful of properties of the post-LLC reference stream:
+
+* memory intensity (LLC misses per kilo-instruction),
+* memory footprint relative to the near-memory size,
+* spatial locality (how much of a fetched sector/page is actually used),
+* temporal reuse (how skewed accesses are towards a hot subset), and
+* the read/write mix.
+
+:class:`WorkloadSpec` captures exactly these knobs and
+:func:`generate_trace` turns a spec into a deterministic memory-level trace
+(the "gap" of each record counts the instructions between LLC misses).
+
+The generator is region based: the stream repeatedly picks a 4 KB region
+(biased towards a hot subset of the footprint, which is what gives caches
+and migration their reuse) and then touches ``region_coverage`` of its 64 B
+lines sequentially.  Region coverage therefore directly controls how much of
+a coarse DRAM-cache line or migrated sector is ever used — the over-fetch
+trade-off of Figure 1 — while the hot-set parameters control temporal reuse
+and the MPKI controls memory intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+import numpy as np
+
+from ..common import GIB, LINE_SIZE, align_down
+from ..cpu.trace import Trace, TraceRecord
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic workload."""
+
+    name: str
+    suite: str                     # "SPEC" (multi-programmed) or "NAS" (multi-threaded)
+    mpki_class: str                # "high" | "medium" | "low"
+    mpki: float                    # paper Table 2 LLC MPKI
+    footprint_gb: float            # paper Table 2 footprint in GB
+    #: Fraction of a region's 64 B lines touched when the region is visited.
+    region_coverage: float = 0.75
+    #: Size of the spatial-locality region (an OS page by default).
+    region_bytes: int = 4096
+    #: Fraction of the footprint's regions that form the hot working set.
+    hot_fraction: float = 0.1
+    #: Fraction of region visits that go to the hot working set.
+    hot_access_fraction: float = 0.6
+    #: Upper bound on the hot set, in regions per trace.  Real workloads keep
+    #: a bounded hot working set regardless of their total footprint; without
+    #: the cap, large-footprint workloads would show almost no reuse within a
+    #: tractable trace length.
+    hot_region_cap: int = 16
+    write_fraction: float = 0.3
+    #: Streaming workloads sweep regions in order with negligible reuse.
+    streaming: bool = False
+
+    def scaled_footprint_bytes(self, scale: int) -> int:
+        """Footprint in bytes after dividing the paper size by ``scale``."""
+        raw = int(self.footprint_gb * GIB / scale)
+        raw = align_down(raw, self.region_bytes)
+        return max(4 * self.region_bytes, raw)
+
+    def gap_instructions(self) -> int:
+        """Mean instructions between LLC misses implied by the MPKI."""
+        return max(1, int(round(1000.0 / max(self.mpki, 0.01))))
+
+    def lines_per_region(self) -> int:
+        return max(1, self.region_bytes // LINE_SIZE)
+
+    def lines_per_visit(self) -> int:
+        """How many distinct lines a region visit touches."""
+        return max(1, int(round(self.region_coverage * self.lines_per_region())))
+
+    def with_footprint(self, footprint_gb: float) -> "WorkloadSpec":
+        return replace(self, footprint_gb=footprint_gb)
+
+
+def generate_trace(spec: WorkloadSpec, num_references: int, *, scale: int = 256,
+                   seed: int = 1, base_address: int = 0, core_id: int = 0,
+                   address_limit: int | None = None,
+                   footprint_bytes: int | None = None) -> Trace:
+    """Generate a deterministic memory-level trace for ``spec``.
+
+    ``base_address`` offsets the whole footprint (used to give each copy of a
+    multi-programmed workload its own address range).  ``address_limit``
+    optionally clamps the footprint to the flat address space of the memory
+    system under test.  ``footprint_bytes`` overrides the spec's scaled
+    footprint (used to split a multi-programmed footprint across cores).
+    """
+    if num_references <= 0:
+        return Trace([])
+    rng = np.random.default_rng(seed * 1_000_003 + core_id * 7919)
+
+    footprint = footprint_bytes or spec.scaled_footprint_bytes(scale)
+    if address_limit is not None:
+        available = max(spec.region_bytes, address_limit - base_address)
+        footprint = min(footprint, align_down(available, spec.region_bytes)
+                        or spec.region_bytes)
+    lines_per_region = spec.lines_per_region()
+    num_regions = max(1, footprint // spec.region_bytes)
+    lines_per_visit = spec.lines_per_visit()
+
+    hot_regions = max(1, min(int(num_regions * spec.hot_fraction),
+                             spec.hot_region_cap))
+    # Spread the hot set over the footprint so it is not one contiguous blob.
+    hot_stride = max(1, num_regions // hot_regions)
+
+    gap_mean = spec.gap_instructions()
+    # Pre-draw randomness in bulk; one entry per region visit is enough.
+    max_visits = num_references + 1
+    gaps = rng.poisson(gap_mean, size=num_references)
+    writes = rng.random(num_references) < spec.write_fraction
+    visit_hot = rng.random(max_visits) < spec.hot_access_fraction
+    visit_region = rng.integers(0, num_regions, size=max_visits)
+    visit_hot_index = rng.integers(0, hot_regions, size=max_visits)
+    visit_offset = rng.integers(0, lines_per_region, size=max_visits)
+
+    records: List[TraceRecord] = []
+    visit = 0
+    stream_region = int(visit_region[0])
+    while len(records) < num_references:
+        if spec.streaming:
+            stream_region = (stream_region + 1) % num_regions
+            region = stream_region
+        elif visit_hot[visit % max_visits]:
+            region = (int(visit_hot_index[visit % max_visits]) * hot_stride) % num_regions
+        else:
+            region = int(visit_region[visit % max_visits])
+        start_line = int(visit_offset[visit % max_visits])
+        visit += 1
+
+        region_base = base_address + region * spec.region_bytes
+        for k in range(lines_per_visit):
+            if len(records) >= num_references:
+                break
+            i = len(records)
+            line = (start_line + k) % lines_per_region
+            records.append(TraceRecord(
+                gap_instructions=int(gaps[i]),
+                address=region_base + line * LINE_SIZE,
+                is_write=bool(writes[i]),
+                core_id=core_id,
+            ))
+    return Trace(records)
+
+
+def generate_multiprogrammed(spec: WorkloadSpec, num_references_per_core: int, *,
+                             num_cores: int = 8, scale: int = 256, seed: int = 1,
+                             address_limit: int | None = None) -> List[Trace]:
+    """Eight-copies-of-the-same-benchmark methodology of the paper.
+
+    The Table 2 footprint describes the whole (eight-copy or multi-threaded)
+    workload.  SPEC multi-programmed copies therefore each receive a disjoint
+    ``footprint / num_cores`` slice of the address space; multi-threaded NAS
+    workloads share one address space, so every core touches the same
+    footprint.
+    """
+    footprint = spec.scaled_footprint_bytes(scale)
+    if address_limit is not None:
+        footprint = min(footprint, align_down(address_limit, spec.region_bytes)
+                        or spec.region_bytes)
+    traces = []
+    if spec.suite.upper() == "NAS":
+        per_core_footprint = footprint
+    else:
+        per_core_footprint = max(spec.region_bytes,
+                                 align_down(footprint // max(1, num_cores),
+                                            spec.region_bytes))
+    for core in range(num_cores):
+        if spec.suite.upper() == "NAS":
+            base = 0
+        else:
+            base = core * per_core_footprint
+        traces.append(generate_trace(
+            spec, num_references_per_core, scale=scale, seed=seed,
+            base_address=base, core_id=core, address_limit=address_limit,
+            footprint_bytes=per_core_footprint))
+    return traces
+
+
+def stream_pattern(num_references: int, *, stride: int = LINE_SIZE,
+                   start: int = 0) -> Trace:
+    """Pure streaming pattern (useful in unit tests and examples)."""
+    return Trace(TraceRecord(gap_instructions=10, address=start + i * stride,
+                             is_write=False)
+                 for i in range(num_references))
+
+
+def random_pattern(num_references: int, footprint_bytes: int, *, seed: int = 0,
+                   write_fraction: float = 0.3) -> Trace:
+    """Uniformly random pattern over ``footprint_bytes`` (tests/examples)."""
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, max(1, footprint_bytes // LINE_SIZE),
+                         size=num_references)
+    writes = rng.random(num_references) < write_fraction
+    return Trace(TraceRecord(gap_instructions=20, address=int(l) * LINE_SIZE,
+                             is_write=bool(w))
+                 for l, w in zip(lines, writes))

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.params import Hybrid2Params, make_config
+
+
+@pytest.fixture
+def small_config():
+    """A heavily scaled configuration that keeps unit tests fast.
+
+    NM 1 MB, FM 16 MB (1:16 ratio preserved), 64 KB DRAM cache with 2 KB
+    sectors and 256 B cache lines.
+    """
+    hybrid2 = Hybrid2Params(dram_cache_bytes=64 * 1024)
+    return make_config(nm_gb=1, fm_gb=16, scale=1024, hybrid2=hybrid2)
+
+
+@pytest.fixture
+def default_config():
+    """The default scaled configuration used by the benches (NM 4 MB)."""
+    return make_config(nm_gb=1, fm_gb=16, scale=256)

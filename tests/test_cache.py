@@ -1,0 +1,167 @@
+"""Tests for the SRAM cache substrate (caches, replacement, hierarchy)."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.replacement import FifoPolicy, LruPolicy, RandomPolicy, make_policy
+from repro.params import CoreParams, SramCacheParams
+
+
+# ---------------------------------------------------------------------------
+# replacement policies
+# ---------------------------------------------------------------------------
+def test_lru_victim_is_least_recently_used():
+    lru = LruPolicy(4)
+    for way in range(4):
+        lru.touch(way)
+    lru.touch(0)
+    assert lru.victim() == 1
+
+
+def test_lru_reset_makes_way_victim():
+    lru = LruPolicy(2)
+    lru.touch(0)
+    lru.touch(1)
+    lru.reset(1)
+    assert lru.victim() == 1
+
+
+def test_fifo_rotates_regardless_of_touches():
+    fifo = FifoPolicy(3)
+    fifo.touch(2)
+    assert [fifo.victim() for _ in range(4)] == [0, 1, 2, 0]
+
+
+def test_random_policy_is_deterministic_per_seed():
+    a = RandomPolicy(8, seed=3)
+    b = RandomPolicy(8, seed=3)
+    assert [a.victim() for _ in range(10)] == [b.victim() for _ in range(10)]
+
+
+def test_make_policy_factory():
+    assert isinstance(make_policy("lru", 4), LruPolicy)
+    assert isinstance(make_policy("fifo", 4), FifoPolicy)
+    assert isinstance(make_policy("random", 4), RandomPolicy)
+    with pytest.raises(ValueError):
+        make_policy("plru", 4)
+
+
+# ---------------------------------------------------------------------------
+# set-associative cache
+# ---------------------------------------------------------------------------
+def test_cache_hit_after_miss():
+    cache = SetAssociativeCache(1024, 2, 64)
+    assert not cache.access(0, False).hit
+    assert cache.access(0, False).hit
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_write_makes_line_dirty_and_writes_back():
+    cache = SetAssociativeCache(128, 1, 64)   # 2 sets, direct mapped
+    cache.access(0, True)
+    result = cache.access(128, False)          # same set, evicts dirty line
+    assert result.writeback_address == 0
+    assert cache.writebacks == 1
+
+
+def test_cache_clean_eviction_has_no_writeback():
+    cache = SetAssociativeCache(128, 1, 64)
+    cache.access(0, False)
+    result = cache.access(128, False)
+    assert result.writeback_address is None
+    assert result.evicted_address == 0
+
+
+def test_cache_respects_associativity():
+    cache = SetAssociativeCache(256, 2, 64)    # 2 sets, 2 ways
+    cache.access(0, False)
+    cache.access(128, False)                   # same set, second way
+    assert cache.probe(0) and cache.probe(128)
+    cache.access(256, False)                   # evicts LRU (address 0)
+    assert not cache.probe(0)
+    assert cache.probe(128) and cache.probe(256)
+
+
+def test_cache_invalidate_returns_dirty_state():
+    cache = SetAssociativeCache(1024, 4, 64)
+    cache.access(0, True)
+    assert cache.invalidate(0) is True
+    assert cache.invalidate(0) is False
+    assert not cache.probe(0)
+
+
+def test_cache_fill_does_not_count_demand():
+    cache = SetAssociativeCache(1024, 4, 64)
+    cache.fill(0, dirty=True)
+    assert cache.accesses == 0
+    assert cache.probe(0)
+
+
+def test_cache_size_validation():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(100, 3, 64)
+
+
+def test_cache_resident_lines_and_hit_rate():
+    cache = SetAssociativeCache(1024, 4, 64)
+    for i in range(4):
+        cache.access(i * 64, False)
+    cache.access(0, False)
+    assert cache.resident_lines() == 4
+    assert cache.hit_rate == pytest.approx(1 / 5)
+
+
+# ---------------------------------------------------------------------------
+# hierarchy
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def hierarchy():
+    cores = CoreParams(num_cores=2)
+    l1 = SramCacheParams(size_bytes=1024, ways=2, latency_cycles=1)
+    l2 = SramCacheParams(size_bytes=4096, ways=4, latency_cycles=9)
+    l3 = SramCacheParams(size_bytes=16384, ways=8, latency_cycles=14, shared=True)
+    return CacheHierarchy(cores, l1, l2, l3)
+
+
+def test_hierarchy_first_access_misses_to_memory(hierarchy):
+    result = hierarchy.access(0, 0, False)
+    assert result.llc_miss
+    assert result.level == "memory"
+
+
+def test_hierarchy_second_access_hits_l1(hierarchy):
+    hierarchy.access(0, 0, False)
+    result = hierarchy.access(0, 0, False)
+    assert result.level == "l1"
+    assert result.latency_cycles == 1
+    assert not result.llc_miss
+
+
+def test_hierarchy_private_l1_per_core(hierarchy):
+    hierarchy.access(0, 0, False)
+    result = hierarchy.access(1, 0, False)
+    # Core 1 misses its own L1/L2 but finds the line in the shared L3.
+    assert result.level == "l3"
+
+
+def test_hierarchy_eventually_produces_writebacks(hierarchy):
+    writebacks = []
+    # Write far more distinct lines than the total hierarchy capacity.
+    for i in range(2048):
+        result = hierarchy.access(0, i * 64, True)
+        writebacks.extend(result.writebacks)
+    assert writebacks, "dirty lines must eventually spill to memory"
+
+
+def test_hierarchy_rejects_bad_core(hierarchy):
+    with pytest.raises(ValueError):
+        hierarchy.access(5, 0, False)
+
+
+def test_hierarchy_mpki_accounting(hierarchy):
+    for i in range(64):
+        hierarchy.access(0, i * 64, False)
+    assert hierarchy.llc_mpki(64_000) == pytest.approx(1.0)
+    summary = hierarchy.summary()
+    assert summary["l3_misses"] == 64

@@ -1,0 +1,128 @@
+"""Tests for the DRAM-cache baselines (ideal, Tagless, DFC) and the no-NM
+baseline."""
+
+import pytest
+
+from repro.baselines.dfc import DecoupledFusedCache
+from repro.baselines.dram_cache import DramCacheSystem
+from repro.baselines.fm_only import FarMemoryOnly
+from repro.baselines.ideal_cache import IdealCache
+from repro.baselines.tagless import TaglessCache
+from repro.workloads import generate_trace, get_workload
+
+
+def drive(system, workload="mcf", n=1200, seed=4):
+    spec = get_workload(workload)
+    trace = generate_trace(spec, n, scale=system.config.scale, seed=seed,
+                           address_limit=system.flat_capacity_bytes)
+    now = 0.0
+    for record in trace:
+        system.access(record.address, record.is_write, now)
+        now += 20.0
+    return system
+
+
+# ---------------------------------------------------------------------------
+# no-NM baseline
+# ---------------------------------------------------------------------------
+def test_baseline_never_uses_near_memory(small_config):
+    system = drive(FarMemoryOnly(small_config))
+    assert system.nm_service_ratio == 0.0
+    assert system.collect_stats()["fm.bytes"] > 0
+    assert "nm.bytes" not in system.collect_stats()
+
+
+def test_baseline_capacity_is_far_memory(small_config):
+    system = FarMemoryOnly(small_config)
+    assert system.flat_capacity_bytes == small_config.far.capacity_bytes
+
+
+# ---------------------------------------------------------------------------
+# generic DRAM cache behaviour
+# ---------------------------------------------------------------------------
+def test_cache_hits_after_first_touch(small_config):
+    system = IdealCache(small_config, line_size=256)
+    system.access(0, False, 0.0)
+    outcome = system.access(64, False, 50.0)
+    assert outcome.served_from_nm
+    assert outcome.dram_cache_hit
+
+
+def test_cache_line_size_must_be_multiple_of_64(small_config):
+    with pytest.raises(ValueError):
+        DramCacheSystem(small_config, line_size=100)
+
+
+def test_cache_flat_capacity_is_far_memory_only(small_config):
+    system = IdealCache(small_config)
+    assert system.flat_capacity_bytes == small_config.far.capacity_bytes
+
+
+def test_larger_lines_fetch_more_data(small_config):
+    small_lines = drive(IdealCache(small_config, line_size=64), "deepsjeng")
+    big_lines = drive(IdealCache(small_config, line_size=4096), "deepsjeng")
+    assert (big_lines.collect_stats()["fm.bytes"] >
+            small_lines.collect_stats()["fm.bytes"])
+
+
+def test_wasted_data_grows_with_line_size(small_config):
+    """The Figure 1 trend: bigger lines leave more fetched data unused."""
+    small_lines = drive(IdealCache(small_config, line_size=128), "omnetpp")
+    big_lines = drive(IdealCache(small_config, line_size=2048), "omnetpp")
+    assert (big_lines.wasted_data_fraction() >
+            small_lines.wasted_data_fraction())
+
+
+def test_wasted_data_near_zero_for_64b_lines(small_config):
+    system = drive(IdealCache(small_config, line_size=64), "omnetpp")
+    assert system.wasted_data_fraction() == pytest.approx(0.0)
+
+
+def test_dirty_victims_are_written_back(small_config):
+    system = IdealCache(small_config, line_size=256, ways=1)
+    # Write to two lines that collide in the same (single-way) set.
+    system.access(0, True, 0.0)
+    collision = system.num_sets * 256
+    system.access(collision, False, 50.0)
+    assert system.writebacks == 1
+    assert system.far.write_bytes > 0
+
+
+def test_hit_rate_reporting(small_config):
+    system = drive(IdealCache(small_config, line_size=256), "mcf")
+    stats = system.collect_stats()
+    assert 0.0 < stats["cache.hit_rate"] <= 1.0
+    assert stats["cache.hits"] + stats["cache.misses"] == system.requests
+
+
+# ---------------------------------------------------------------------------
+# Tagless and DFC specifics
+# ---------------------------------------------------------------------------
+def test_tagless_uses_page_lines_and_no_tag_traffic(small_config):
+    system = TaglessCache(small_config)
+    assert system.line_size == 4096
+    drive(system, "mcf", n=600)
+    assert system.near.metadata_bytes == 0
+
+
+def test_tagless_is_fully_associative(small_config):
+    system = TaglessCache(small_config)
+    assert system.num_sets == 1
+    assert system.ways == small_config.near.capacity_bytes // 4096
+
+
+def test_dfc_pays_in_dram_tag_accesses(small_config):
+    dfc = drive(DecoupledFusedCache(small_config), "mcf")
+    ideal = drive(IdealCache(small_config, line_size=1024), "mcf")
+    assert dfc.near.metadata_bytes > 0
+    assert ideal.near.metadata_bytes == 0
+
+
+def test_dfc_default_line_size_is_1kb(small_config):
+    assert DecoupledFusedCache(small_config).line_size == 1024
+    assert DecoupledFusedCache(small_config).name == "DFC"
+    assert DecoupledFusedCache(small_config, line_size=256).name == "DFC-256"
+
+
+def test_ideal_names_follow_line_size(small_config):
+    assert IdealCache(small_config, line_size=512).name == "IDEAL-512"

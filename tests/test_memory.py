@@ -1,0 +1,175 @@
+"""Tests for the DRAM substrate: timings, banks, channels, devices, controllers."""
+
+import pytest
+
+from repro.common import GIB, LINE_SIZE
+from repro.memory.bank import Bank
+from repro.memory.channel import Channel
+from repro.memory.controller import MemoryController
+from repro.memory.device import DramDevice
+from repro.memory.energy import EnergyModel
+from repro.memory.timing import DramTimings
+from repro.params import ddr4_params, hbm2_params
+
+
+@pytest.fixture
+def hbm():
+    return hbm2_params(4 * 1024 * 1024)
+
+
+@pytest.fixture
+def ddr():
+    return ddr4_params(64 * 1024 * 1024)
+
+
+# ---------------------------------------------------------------------------
+# timings
+# ---------------------------------------------------------------------------
+def test_timing_latency_ordering(hbm):
+    t = DramTimings.from_params(hbm)
+    assert t.row_hit_latency_ns() < t.row_empty_latency_ns()
+    assert t.row_empty_latency_ns() < t.row_miss_latency_ns()
+
+
+def test_hbm_faster_and_wider_than_ddr(hbm, ddr):
+    th, td = DramTimings.from_params(hbm), DramTimings.from_params(ddr)
+    assert th.row_miss_latency_ns() < td.row_miss_latency_ns()
+    assert th.burst_ns(64) < td.burst_ns(64)
+
+
+def test_burst_time_scales_with_size(hbm):
+    t = DramTimings.from_params(hbm)
+    assert t.burst_ns(128) == pytest.approx(2 * t.burst_ns(64))
+
+
+# ---------------------------------------------------------------------------
+# banks and channels
+# ---------------------------------------------------------------------------
+def test_bank_classify_and_record():
+    bank = Bank()
+    assert bank.classify(5) == "empty"
+    bank.record(5, "empty")
+    assert bank.classify(5) == "hit"
+    assert bank.classify(6) == "miss"
+    bank.record(6, "miss")
+    assert bank.open_row == 6
+    assert bank.row_misses == 1
+
+
+def test_bank_precharge():
+    bank = Bank()
+    bank.record(1, "empty")
+    bank.precharge()
+    assert bank.open_row is None
+
+
+def test_channel_bus_serialises_transfers():
+    channel = Channel.with_banks(4)
+    first = channel.reserve_bus(0.0, 10.0)
+    second = channel.reserve_bus(0.0, 10.0)
+    assert first == 0.0
+    assert second == 10.0
+    assert channel.busy_ns == 20.0
+
+
+# ---------------------------------------------------------------------------
+# device
+# ---------------------------------------------------------------------------
+def test_device_row_hit_is_faster_than_miss(hbm):
+    device = DramDevice(hbm)
+    first = device.access(0, 64, False, 0.0)
+    second = device.access(64, 64, False, first.completion_ns)
+    assert not first.row_hit
+    # The second access may map to a different channel; force the same line.
+    third = device.access(0, 64, False, second.completion_ns)
+    assert third.row_hit
+    assert third.latency_ns < first.latency_ns
+
+
+def test_device_counts_traffic_and_energy(hbm):
+    device = DramDevice(hbm)
+    device.access(0, 64, False, 0.0)
+    device.access(4096, 64, True, 0.0)
+    assert device.reads == 1 and device.writes == 1
+    assert device.traffic.total_bytes == 128
+    assert device.energy.total_pj > 0
+
+
+def test_device_locate_spreads_channels(hbm):
+    device = DramDevice(hbm)
+    channels = {device.locate(i * hbm.channel_interleave_bytes)[0]
+                for i in range(hbm.channels)}
+    assert len(channels) == hbm.channels
+
+
+def test_device_rejects_empty_access(hbm):
+    device = DramDevice(hbm)
+    with pytest.raises(ValueError):
+        device.access(0, 0, False, 0.0)
+
+
+def test_bandwidth_contention_increases_latency(ddr):
+    """Issuing many simultaneous requests must queue on the channel bus."""
+    device = DramDevice(ddr)
+    latencies = [device.access(i * 64, 64, False, 0.0).latency_ns
+                 for i in range(64)]
+    assert latencies[-1] > latencies[0]
+
+
+def test_row_hit_rate_reported(hbm):
+    device = DramDevice(hbm)
+    for _ in range(4):
+        device.access(0, 64, False, 0.0)
+    assert 0.5 < device.row_hit_rate <= 1.0
+    assert device.summary()["row_hit_rate"] == device.row_hit_rate
+
+
+# ---------------------------------------------------------------------------
+# energy model
+# ---------------------------------------------------------------------------
+def test_energy_model_accounting(hbm):
+    model = EnergyModel.from_params(hbm)
+    transfer_pj = model.transfer(64)
+    assert transfer_pj == pytest.approx(hbm.rw_energy_pj_per_bit * 64 * 8)
+    activate_pj = model.activate()
+    assert activate_pj == pytest.approx(hbm.act_pre_energy_nj * 1000.0)
+    assert model.total_pj == pytest.approx(transfer_pj + activate_pj)
+
+
+# ---------------------------------------------------------------------------
+# controller
+# ---------------------------------------------------------------------------
+def test_controller_classifies_traffic(hbm):
+    controller = MemoryController(hbm)
+    controller.access(0, False, 0.0, demand=True)
+    controller.access(64, True, 0.0, demand=False)
+    controller.access(128, False, 0.0, metadata=True)
+    assert controller.demand_bytes == 64
+    assert controller.background_bytes == 64
+    assert controller.metadata_bytes == 64
+    assert controller.total_bytes == 192
+
+
+def test_controller_adds_overhead(hbm):
+    controller = MemoryController(hbm)
+    direct = DramDevice(hbm).access(0, 64, False, 0.0)
+    via_controller = controller.access(0, False, 0.0)
+    assert via_controller.latency_ns == pytest.approx(
+        direct.latency_ns + MemoryController.CONTROLLER_OVERHEAD_NS)
+
+
+def test_controller_transfer_block_moves_whole_block(hbm):
+    controller = MemoryController(hbm)
+    result = controller.transfer_block(0, 2048, False, 0.0)
+    assert controller.total_bytes == 2048
+    assert result.latency_ns > 0
+
+
+def test_controller_reset_counters_keeps_timing_state(hbm):
+    controller = MemoryController(hbm)
+    controller.access(0, False, 0.0)
+    busy_before = controller.device.channels[0].bus_free_at_ns
+    controller.reset_counters()
+    assert controller.total_bytes == 0
+    assert controller.energy_pj == 0
+    assert controller.device.channels[0].bus_free_at_ns == busy_before

@@ -1,0 +1,80 @@
+"""Tests for the near-memory frame pool (Section 3.5, Figure 8)."""
+
+import pytest
+
+from repro.core.nm_allocator import NMFramePool
+
+
+@pytest.fixture
+def pool():
+    # 16 frames: 2 metadata, 4 carve-out, 10 flat.
+    return NMFramePool(total_frames=16, metadata_frames=2, carveout_frames=4)
+
+
+def test_partition(pool):
+    assert pool.flat_frames == list(range(6, 16))
+    assert pool.pool_size == 4
+    assert pool.usable_frames == 14
+    assert pool.check_invariants()
+
+
+def test_oversized_reservation_rejected():
+    with pytest.raises(ValueError):
+        NMFramePool(total_frames=4, metadata_frames=3, carveout_frames=3)
+
+
+def test_take_and_release(pool):
+    frame = pool.take_from_pool()
+    assert frame is not None
+    assert pool.pool_size == 3
+    assert pool.backing_count == 1
+    pool.release_to_pool(frame)
+    assert pool.pool_size == 4
+    assert pool.check_invariants()
+
+
+def test_take_from_empty_pool_returns_none(pool):
+    for _ in range(4):
+        assert pool.take_from_pool() is not None
+    assert pool.take_from_pool() is None
+
+
+def test_claim_for_flat_removes_ownership(pool):
+    frame = pool.take_from_pool()
+    pool.claim_for_flat(frame)
+    assert not pool.is_cache_owned(frame)
+    assert pool.cache_owned_count == 3
+    with pytest.raises(ValueError):
+        pool.release_to_pool(frame)
+
+
+def test_adopt_flat_frame(pool):
+    pool.adopt(10)
+    assert pool.is_cache_owned(10)
+    assert pool.swap_allocations == 1
+    with pytest.raises(ValueError):
+        pool.adopt(10)          # already owned
+    with pytest.raises(ValueError):
+        pool.adopt(0)           # metadata frame
+
+
+def test_victim_candidates_skip_cache_owned(pool):
+    pool.adopt(6)
+    candidates = []
+    for frame in pool.victim_candidates():
+        candidates.append(frame)
+        if len(candidates) >= 5:
+            break
+    assert 6 not in candidates
+    assert all(not pool.is_cache_owned(f) for f in candidates)
+
+
+def test_victim_candidates_fifo_wraps_and_resumes(pool):
+    first = next(iter(pool.victim_candidates()))
+    second = next(iter(pool.victim_candidates()))
+    assert first != second, "the FIFO pointer must advance between allocations"
+
+
+def test_victim_candidates_terminates_when_everything_owned():
+    pool = NMFramePool(total_frames=6, metadata_frames=0, carveout_frames=6)
+    assert list(pool.victim_candidates()) == []

@@ -1,0 +1,119 @@
+"""Tests for the migration decision (Section 3.7, Figure 10)."""
+
+import pytest
+
+from repro.core.policy import (MigrationPolicy, MigrationVerdict, eviction_cost,
+                               migration_cost, net_cost)
+
+
+# ---------------------------------------------------------------------------
+# cost function (Section 3.7.2)
+# ---------------------------------------------------------------------------
+def test_cost_formulas_match_paper():
+    # Mcost = 2*Nall - Nvalid + 1 ; Ecost = Ndirty ; Net = Mcost - Ecost.
+    assert migration_cost(8, 3) == 2 * 8 - 3 + 1
+    assert eviction_cost(5) == 5
+    assert net_cost(8, 3, 5) == 2 * 8 - 3 - 5 + 1
+
+
+def test_net_cost_bounds_from_paper():
+    """Netcost ranges from 1 (all valid and dirty) to 2*Nall (one clean line)."""
+    nall = 8
+    assert net_cost(nall, nall, nall) == 1
+    assert net_cost(nall, 1, 0) == 2 * nall
+
+
+def make_policy(mode="policy", window_cycles=100_000):
+    return MigrationPolicy(lines_per_sector=8, window_cycles=window_cycles,
+                           cycle_ns=0.3125, mode=mode)
+
+
+# ---------------------------------------------------------------------------
+# bandwidth budget (Section 3.7.3)
+# ---------------------------------------------------------------------------
+def test_budget_grows_with_demand_fm_accesses():
+    policy = make_policy()
+    for _ in range(10):
+        policy.note_demand_fm_access(0.0)
+    assert policy.budget == 10
+
+
+def test_budget_resets_every_window():
+    policy = make_policy(window_cycles=1000)     # 312.5 ns window
+    policy.note_demand_fm_access(0.0)
+    policy.note_demand_fm_access(400.0)          # past the window -> reset first
+    assert policy.budget == 1
+
+
+def test_migration_denied_without_budget():
+    policy = make_policy()
+    verdict = policy.decide(access_counter=5, competing_counters=[],
+                            valid_lines=8, dirty_lines=8, now_ns=0.0)
+    assert verdict is MigrationVerdict.EVICT_BANDWIDTH
+    assert policy.stats.denied_by_bandwidth == 1
+
+
+def test_migration_spends_budget():
+    policy = make_policy()
+    for _ in range(10):
+        policy.note_demand_fm_access(0.0)
+    verdict = policy.decide(access_counter=5, competing_counters=[],
+                            valid_lines=8, dirty_lines=8, now_ns=0.0)
+    assert verdict.migrate
+    # Netcost = 2*8 - 8 - 8 + 1 = 1, spent from the budget of 10.
+    assert policy.budget == 9
+    assert policy.stats.migrations == 1
+
+
+# ---------------------------------------------------------------------------
+# counter comparison (Section 3.7.1)
+# ---------------------------------------------------------------------------
+def test_hotter_competitor_denies_migration():
+    policy = make_policy()
+    for _ in range(50):
+        policy.note_demand_fm_access(0.0)
+    verdict = policy.decide(access_counter=3, competing_counters=[10, 2],
+                            valid_lines=8, dirty_lines=8, now_ns=0.0)
+    assert verdict is MigrationVerdict.EVICT_COUNTER
+
+
+def test_equal_counter_allows_migration():
+    policy = make_policy()
+    for _ in range(50):
+        policy.note_demand_fm_access(0.0)
+    verdict = policy.decide(access_counter=10, competing_counters=[10, 2],
+                            valid_lines=8, dirty_lines=8, now_ns=0.0)
+    assert verdict.migrate
+
+
+# ---------------------------------------------------------------------------
+# forced modes (Figure 14 ablations)
+# ---------------------------------------------------------------------------
+def test_mode_all_always_migrates():
+    policy = make_policy(mode="all")
+    verdict = policy.decide(access_counter=0, competing_counters=[100],
+                            valid_lines=1, dirty_lines=0, now_ns=0.0)
+    assert verdict.migrate
+
+
+def test_mode_none_never_migrates():
+    policy = make_policy(mode="none")
+    for _ in range(100):
+        policy.note_demand_fm_access(0.0)
+    verdict = policy.decide(access_counter=100, competing_counters=[],
+                            valid_lines=8, dirty_lines=8, now_ns=0.0)
+    assert not verdict.migrate
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        make_policy(mode="sometimes")
+
+
+def test_decision_counts_sum():
+    policy = make_policy()
+    policy.note_demand_fm_access(0.0)
+    for counter in (0, 5, 9):
+        policy.decide(access_counter=counter, competing_counters=[4],
+                      valid_lines=8, dirty_lines=8, now_ns=0.0)
+    assert policy.stats.decisions == 3

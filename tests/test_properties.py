@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the core data structures and
+invariants of the reproduction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement import LruPolicy
+from repro.core.nm_allocator import NMFramePool
+from repro.core.policy import eviction_cost, migration_cost, net_cost
+from repro.core.remap import FreeFMStack, RemapTable
+from repro.core.xta import XTA
+from repro.memory.device import DramDevice
+from repro.params import hbm2_params
+from repro.stats import Stats
+
+
+# ---------------------------------------------------------------------------
+# cost function (Section 3.7.2)
+# ---------------------------------------------------------------------------
+@given(nall=st.integers(1, 64), data=st.data())
+def test_net_cost_stays_within_paper_bounds(nall, data):
+    valid = data.draw(st.integers(1, nall))
+    dirty = data.draw(st.integers(0, valid))
+    cost = net_cost(nall, valid, dirty)
+    assert 1 <= cost <= 2 * nall
+    assert cost == migration_cost(nall, valid) - eviction_cost(dirty)
+
+
+@given(nall=st.integers(1, 64), valid=st.integers(0, 64), dirty=st.integers(0, 64))
+def test_migration_cost_monotonic_in_valid_lines(nall, valid, dirty):
+    valid = min(valid, nall)
+    assert migration_cost(nall, valid) >= migration_cost(nall, min(nall, valid + 1))
+
+
+# ---------------------------------------------------------------------------
+# stats registry
+# ---------------------------------------------------------------------------
+@given(st.dictionaries(st.text(min_size=1, max_size=8),
+                       st.floats(-1e6, 1e6, allow_nan=False), max_size=8),
+       st.dictionaries(st.text(min_size=1, max_size=8),
+                       st.floats(-1e6, 1e6, allow_nan=False), max_size=8))
+def test_stats_merge_is_additive(left, right):
+    a = Stats()
+    a.merge(left)
+    a.merge(right)
+    for key in set(left) | set(right):
+        assert a[key] == left.get(key, 0.0) + right.get(key, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# LRU policy
+# ---------------------------------------------------------------------------
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=60))
+def test_lru_victim_is_never_the_most_recent(touches):
+    policy = LruPolicy(8)
+    for way in range(8):
+        policy.touch(way)
+    for way in touches:
+        policy.touch(way)
+    assert policy.victim() != touches[-1]
+
+
+# ---------------------------------------------------------------------------
+# set-associative cache
+# ---------------------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(0, 255), st.booleans()),
+                min_size=1, max_size=200))
+def test_cache_occupancy_never_exceeds_capacity(accesses):
+    cache = SetAssociativeCache(1024, 2, 64)     # 16 lines total
+    for line, is_write in accesses:
+        cache.access(line * 64, is_write)
+    assert cache.resident_lines() <= 16
+    assert cache.hits + cache.misses == len(accesses)
+
+
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=100))
+def test_cache_probe_after_access_always_hits(lines):
+    cache = SetAssociativeCache(4096, 4, 64)
+    for line in lines:
+        cache.access(line * 64, False)
+        assert cache.probe(line * 64)
+
+
+# ---------------------------------------------------------------------------
+# XTA
+# ---------------------------------------------------------------------------
+@given(st.lists(st.integers(0, 500), min_size=1, max_size=200))
+def test_xta_lookup_after_allocate_finds_sector(sectors):
+    xta = XTA(num_sets=8, ways=4, lines_per_sector=8, counter_max=511)
+    for sector in sectors:
+        if xta.lookup(sector) is None:
+            victim = xta.victim_way(sector)
+            victim.clear()
+            xta.allocate(victim, sector, nm_frame=sector, fm_frame=sector)
+        assert xta.probe(sector) is not None
+    assert xta.allocated_entries() <= xta.capacity_sectors
+
+
+# ---------------------------------------------------------------------------
+# remap table
+# ---------------------------------------------------------------------------
+@given(st.integers(0, 10_000), st.data())
+def test_remap_consistency_under_random_swaps(seed, data):
+    table = RemapTable(24, nm_flat_frames=list(range(100, 108)), fm_frames=16,
+                       seed=seed % 97)
+    nm_sectors = [s for s in range(24) if table.lookup(s).in_near]
+    fm_sectors = [s for s in range(24) if not table.lookup(s).in_near]
+    swaps = data.draw(st.integers(0, 8))
+    for _ in range(swaps):
+        if not nm_sectors or not fm_sectors:
+            break
+        nm_sector = data.draw(st.sampled_from(nm_sectors))
+        fm_sector = data.draw(st.sampled_from(fm_sectors))
+        nm_frame = table.lookup(nm_sector).frame
+        fm_frame = table.lookup(fm_sector).frame
+        table.assign_to_near(fm_sector, nm_frame)
+        table.assign_to_far(nm_sector, fm_frame)
+        nm_sectors.remove(nm_sector)
+        nm_sectors.append(fm_sector)
+        fm_sectors.remove(fm_sector)
+        fm_sectors.append(nm_sector)
+    assert table.check_consistency()
+    assert table.count_in_near() == 8
+
+
+# ---------------------------------------------------------------------------
+# free-FM stack
+# ---------------------------------------------------------------------------
+@given(st.lists(st.integers(0, 1000), max_size=64))
+def test_free_fm_stack_is_lifo(frames):
+    stack = FreeFMStack(on_chip_entries=4)
+    for frame in frames:
+        stack.push(frame)
+    popped = []
+    while len(stack):
+        popped.append(stack.pop()[0])
+    assert popped == list(reversed(frames))
+
+
+# ---------------------------------------------------------------------------
+# NM frame pool
+# ---------------------------------------------------------------------------
+@given(st.lists(st.sampled_from(["take", "release", "claim", "adopt"]),
+                max_size=100), st.integers(0, 1_000_000))
+def test_frame_pool_invariants_under_random_operations(ops, seed):
+    pool = NMFramePool(total_frames=32, metadata_frames=2, carveout_frames=8)
+    taken = []
+    flat = list(pool.flat_frames)
+    for op in ops:
+        if op == "take":
+            frame = pool.take_from_pool()
+            if frame is not None:
+                taken.append(frame)
+        elif op == "release" and taken:
+            pool.release_to_pool(taken.pop())
+        elif op == "claim" and taken:
+            pool.claim_for_flat(taken.pop())
+        elif op == "adopt" and flat:
+            frame = flat.pop()
+            if not pool.is_cache_owned(frame):
+                pool.adopt(frame)
+                taken.append(frame)
+        assert pool.check_invariants()
+        assert pool.pool_size <= pool.cache_owned_count
+
+
+# ---------------------------------------------------------------------------
+# DRAM device
+# ---------------------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(0, (1 << 22) - 64), st.booleans()),
+                min_size=1, max_size=100))
+@settings(max_examples=30)
+def test_dram_device_time_and_energy_are_monotone(requests):
+    device = DramDevice(hbm2_params(4 << 20))
+    now = 0.0
+    last_energy = 0.0
+    for address, is_write in requests:
+        result = device.access(address - address % 64, 64, is_write, now)
+        assert result.latency_ns > 0
+        assert result.completion_ns >= now
+        assert device.energy.total_pj >= last_energy
+        last_energy = device.energy.total_pj
+        now = max(now, result.completion_ns - 10.0)
+    assert device.traffic.total_bytes == 64 * len(requests)

@@ -1,0 +1,111 @@
+"""Tests for the remap table, inverted remap table and Free-FM-Stack."""
+
+import pytest
+
+from repro.common import MemoryKind
+from repro.core.remap import FreeFMStack, RemapTable
+
+
+@pytest.fixture
+def table():
+    # 4 NM flat frames (ids 10..13) + 12 FM frames -> 16 flat sectors.
+    return RemapTable(16, nm_flat_frames=[10, 11, 12, 13], fm_frames=12, seed=5)
+
+
+def test_initial_mapping_covers_every_sector(table):
+    assert table.check_consistency()
+    assert table.count_in_near() == 4
+
+
+def test_initial_mapping_is_random_but_deterministic():
+    a = RemapTable(16, [10, 11, 12, 13], 12, seed=5)
+    b = RemapTable(16, [10, 11, 12, 13], 12, seed=5)
+    c = RemapTable(16, [10, 11, 12, 13], 12, seed=6)
+    assert [a.lookup(s) for s in range(16)] == [b.lookup(s) for s in range(16)]
+    assert [a.lookup(s) for s in range(16)] != [c.lookup(s) for s in range(16)]
+
+
+def test_size_mismatch_rejected():
+    with pytest.raises(ValueError):
+        RemapTable(10, [1, 2], 12)
+
+
+def test_assign_to_near_updates_inverse(table):
+    sector = next(s for s in range(16) if not table.lookup(s).in_near)
+    table.assign_to_near(sector, 20)
+    assert table.lookup(sector).kind is MemoryKind.NEAR
+    assert table.sector_at_nm_frame(20) == sector
+    assert table.check_consistency()
+
+
+def test_assign_to_far_updates_inverse(table):
+    sector = next(s for s in range(16) if table.lookup(s).in_near)
+    old_frame = table.lookup(sector).frame
+    free_fm = next(f for f in range(12) if table.sector_at_fm_frame(f) == -1) \
+        if any(table.sector_at_fm_frame(f) == -1 for f in range(12)) else None
+    # Swap with an arbitrary FM frame by first moving its occupant to NM.
+    occupant = table.sector_at_fm_frame(0)
+    table.assign_to_near(occupant, old_frame)
+    table.assign_to_far(sector, 0)
+    assert not table.lookup(sector).in_near
+    assert table.sector_at_fm_frame(0) == sector
+    assert table.check_consistency()
+
+
+def test_swap_roundtrip_preserves_consistency(table):
+    nm_sector = next(s for s in range(16) if table.lookup(s).in_near)
+    fm_sector = next(s for s in range(16) if not table.lookup(s).in_near)
+    nm_frame = table.lookup(nm_sector).frame
+    fm_frame = table.lookup(fm_sector).frame
+    table.assign_to_near(fm_sector, nm_frame)
+    table.assign_to_far(nm_sector, fm_frame)
+    assert table.lookup(fm_sector) .frame == nm_frame
+    assert table.lookup(nm_sector).frame == fm_frame
+    assert table.check_consistency()
+
+
+def test_record_inverse_nm_only_touches_inverse(table):
+    sector = next(s for s in range(16) if not table.lookup(s).in_near)
+    location_before = table.lookup(sector)
+    table.record_inverse_nm(11, sector)
+    assert table.sector_at_nm_frame(11) == sector
+    assert table.lookup(sector) == location_before
+
+
+def test_sector_at_unknown_nm_frame(table):
+    assert table.sector_at_nm_frame(999) == -1
+
+
+# ---------------------------------------------------------------------------
+# Free-FM-Stack
+# ---------------------------------------------------------------------------
+def test_stack_push_pop_lifo():
+    stack = FreeFMStack(on_chip_entries=4)
+    for frame in (1, 2, 3):
+        assert stack.push(frame) is False       # fits on chip
+    frame, spilled = stack.pop()
+    assert frame == 3 and spilled is False
+    assert len(stack) == 2
+
+
+def test_stack_spills_beyond_on_chip_entries():
+    stack = FreeFMStack(on_chip_entries=2)
+    assert stack.push(1) is False
+    assert stack.push(2) is False
+    assert stack.push(3) is True                # third entry spills to NM
+    frame, spilled = stack.pop()
+    assert frame == 3 and spilled is True
+
+
+def test_stack_pop_empty_raises():
+    with pytest.raises(IndexError):
+        FreeFMStack().pop()
+
+
+def test_stack_tracks_max_depth():
+    stack = FreeFMStack()
+    for frame in range(5):
+        stack.push(frame)
+    stack.pop()
+    assert stack.max_depth == 5
+    assert stack.peek_all() == [0, 1, 2, 3]
