@@ -3,29 +3,32 @@ as a function of the cache-line size (64 B to 4 KB).
 
 The paper reports the average over its benchmarks with a 1 GB DRAM cache:
 0% at 64 B rising to roughly 26% at 4 KB.  The bench sweeps an ideal DRAM
-cache over the same line sizes on the benchmark subset and reports the mean
-wasted-data fraction per line size.
+cache over the same line sizes on the benchmark subset — one sweep-engine
+job per (line size, workload) cell, no baselines needed — and reads the
+wasted-data fraction back from the runs' counters.
 """
 
-from repro.baselines.ideal_cache import IdealCache
-from repro.sim.simulator import simulate
+from repro.sim.sweep import DesignRef
 from repro.sim.tables import simple_series_table
 
-from conftest import REFS, SEED, emit, run_once
+from conftest import emit, run_once
 
 LINE_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
 
+IDEAL_FACTORY = "repro.baselines.ideal_cache:IdealCache"
+
 
 def sweep(runner, workloads):
+    designs = [DesignRef.of(IDEAL_FACTORY, label=f"IDEAL-{size}",
+                            line_size=size)
+               for size in LINE_SIZES]
+    result = runner.sweep(designs, workloads, nm_gb=1, baselines=False)
     series = {}
-    for line_size in LINE_SIZES:
-        fractions = []
-        for spec in workloads:
-            config = runner.config_for(nm_gb=1)
-            system = IdealCache(config, line_size=line_size)
-            simulate(system, spec, num_references=REFS, seed=SEED)
-            fractions.append(system.wasted_data_fraction())
-        series[line_size] = 100.0 * sum(fractions) / len(fractions)
+    for size in LINE_SIZES:
+        fractions = [result.run_for(f"IDEAL-{size}", spec.name)
+                     .stats.get("cache.wasted_fraction")
+                     for spec in workloads]
+        series[size] = 100.0 * sum(fractions) / len(fractions)
     return series
 
 

@@ -4,12 +4,12 @@ migration designs and DRAM caches with 1 GB of 3D-stacked DRAM.
 The paper compares MemPod, Chameleon, LGM and the Tagless cache against a
 DFC and an idealised cache swept over cache-line sizes; caches reach higher
 peaks but their minima collapse for large lines (over-fetch), while
-migration schemes avoid that risk.
+migration schemes avoid that risk.  Every design is a picklable
+:class:`DesignRef`, so the whole study fans out through the sweep engine.
 """
 
-from repro.baselines.dfc import DecoupledFusedCache
-from repro.baselines.ideal_cache import IdealCache
 from repro.sim import metrics
+from repro.sim.sweep import DesignRef
 from repro.sim.tables import min_max_geomean_table
 
 from conftest import emit, run_once
@@ -19,29 +19,29 @@ from conftest import emit, run_once
 DFC_LINE_SIZES = (256, 1024, 4096)
 IDEAL_LINE_SIZES = (64, 256, 4096)
 
+DFC_FACTORY = "repro.baselines.dfc:DecoupledFusedCache"
+IDEAL_FACTORY = "repro.baselines.ideal_cache:IdealCache"
+
 
 def build_designs():
-    designs = {"MPOD": "MPOD", "CHA": "CHA", "LGM": "LGM", "TAGLESS": "TAGLESS"}
-    factories = {}
-    for name, label in designs.items():
-        factories[label] = name
-    for size in DFC_LINE_SIZES:
-        factories[f"DFC-{size}"] = (
-            lambda cfg, s=size: DecoupledFusedCache(cfg, line_size=s))
-    for size in IDEAL_LINE_SIZES:
-        factories[f"IDEAL-{size}"] = (
-            lambda cfg, s=size: IdealCache(cfg, line_size=s))
-    return factories
+    designs = [DesignRef.of(name) for name in ("MPOD", "CHA", "LGM",
+                                               "TAGLESS")]
+    designs.extend(DesignRef.of(DFC_FACTORY, label=f"DFC-{size}",
+                                line_size=size)
+                   for size in DFC_LINE_SIZES)
+    designs.extend(DesignRef.of(IDEAL_FACTORY, label=f"IDEAL-{size}",
+                                line_size=size)
+                   for size in IDEAL_LINE_SIZES)
+    return designs
 
 
 def sweep(runner, workloads):
-    factories = build_designs()
-    sweep_result = runner.sweep(list(factories.values()), workloads, nm_gb=1,
-                                design_names=list(factories.keys()))
+    designs = build_designs()
+    sweep_result = runner.sweep(designs, workloads, nm_gb=1)
     summary = {}
-    for label in factories:
-        speedups = sweep_result.speedups(label)
-        summary[label] = metrics.min_max_geomean(list(speedups.values()))
+    for design in designs:
+        speedups = sweep_result.speedups(design.label)
+        summary[design.label] = metrics.min_max_geomean(list(speedups.values()))
     return summary
 
 

@@ -3,18 +3,16 @@
 The paper sweeps the DRAM-cache size (64/128 MB), the sector size (2/4 KB)
 and the DRAM-cache line size (64..512 B) under a 512 KB XTA budget and finds
 the best configuration at 64 MB / 2 KB sectors / 256 B lines.  The bench
-sweeps the same (scaled) configurations and reports the geometric-mean
-speedup of each.
+sweeps the same (scaled) configurations — each point is one engine sweep
+with its own :class:`~repro.params.SystemConfig`, so the result store keys
+the points apart — and reports the geometric-mean speedup of each.
 """
 
-from dataclasses import replace
-
-from repro.core.hybrid2 import Hybrid2System
 from repro.params import Hybrid2Params
 from repro.sim import metrics
 from repro.sim.tables import simple_series_table
 
-from conftest import SCALE, emit, run_once
+from conftest import emit, run_once
 
 #: (cache MB, sector bytes, line bytes) points of the exploration.
 CONFIG_POINTS = (
@@ -34,12 +32,9 @@ def sweep(runner, workloads):
                                 sector_bytes=sector, cache_line_bytes=line)
         config = runner.config_for(nm_gb=1, hybrid2=hybrid2)
         label = f"{cache_mb}MB/{sector}B-sector/{line}B-line"
-        speedups = []
-        for spec in workloads:
-            baseline = runner.run_baseline(spec, config)
-            result = runner.run_one(lambda cfg: Hybrid2System(cfg), spec, config)
-            speedups.append(metrics.speedup(result, baseline))
-        series[label] = metrics.geometric_mean(speedups)
+        point = runner.sweep(["HYBRID2"], workloads, config=config)
+        series[label] = metrics.geometric_mean(
+            point.speedups("HYBRID2").values())
     return series
 
 

@@ -5,6 +5,10 @@ Cache-Only (the 64 MB sectored cache alone), Migr-All, Migr-None, No-Remap
 (free metadata) and the full design.  Hybrid2 should beat Cache-Only and
 both forced-migration variants, and sit within a few percent of No-Remap
 (the paper reports a 2.5% gap, i.e. metadata handling is effectively free).
+
+The variant factories are module-level functions, so the sweep engine
+promotes them to picklable design references and runs the whole breakdown
+(variants plus the shared baselines) as one fan-out.
 """
 
 from repro.core.variants import BREAKDOWN_VARIANTS
@@ -15,17 +19,10 @@ from conftest import emit, run_once
 
 
 def sweep(runner, workloads):
-    config = runner.config_for(nm_gb=1)
-    series = {}
-    baselines = {spec.name: runner.run_baseline(spec, config)
-                 for spec in workloads}
-    for label, factory in BREAKDOWN_VARIANTS.items():
-        speedups = []
-        for spec in workloads:
-            result = runner.run_one(factory, spec, config)
-            speedups.append(metrics.speedup(result, baselines[spec.name]))
-        series[label] = metrics.geometric_mean(speedups)
-    return series
+    result = runner.sweep(list(BREAKDOWN_VARIANTS.values()), workloads,
+                          nm_gb=1, design_names=list(BREAKDOWN_VARIANTS))
+    return {label: metrics.geometric_mean(result.speedups(label).values())
+            for label in BREAKDOWN_VARIANTS}
 
 
 def test_fig14_performance_breakdown(benchmark, runner, bench_workloads):

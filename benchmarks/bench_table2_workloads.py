@@ -5,7 +5,7 @@ workload in the catalog from the traces the generators actually produce (the
 paper reports the same three columns for its SPEC/NAS selection).
 """
 
-from repro.common import GIB, MIB
+from repro.common import MIB
 from repro.sim.tables import format_table
 from repro.workloads import WORKLOADS, generate_trace
 

@@ -1,15 +1,24 @@
 """Shared configuration of the benchmark harness.
 
 Every bench regenerates one table or figure of the paper's evaluation on the
-scaled model.  Because the full sweep (30 workloads x 7+ designs x 3 NM
-sizes) is too slow for routine runs of a pure-Python simulator, the benches
-default to a class-balanced subset of workloads and a moderate trace length;
-set the environment variables below for a fuller (slower) run:
+scaled model.  The sweeps run through the parallel sweep engine
+(:mod:`repro.sim.sweep`) with a persistent result store, so re-running a
+bench only simulates cells that are not cached yet and the full sweep can
+be fanned out over worker processes.  Environment knobs:
 
 * ``REPRO_BENCH_REFS``               references per run (default 16000)
 * ``REPRO_BENCH_WORKLOADS_PER_CLASS`` workloads per MPKI class (default 2)
 * ``REPRO_BENCH_SCALE``              capacity scale denominator (default 256)
+* ``REPRO_BENCH_SEED``               trace seed (default 1)
+* ``REPRO_BENCH_WORKERS``            worker processes ("auto" = one per CPU,
+                                     capped at 8; default auto)
+* ``REPRO_BENCH_STORE``              result-store directory; "0" disables
+                                     (default ``benchmarks/results/store``)
 * ``REPRO_FULL=1``                   full 30-workload, 48 k-reference sweep
+
+The store is keyed by (design, workload spec, configuration, refs, seed),
+*not* by the simulator's source code — after editing simulation code, clear
+it with ``python -m repro store --store benchmarks/results/store --clear``.
 
 Each bench prints the regenerated rows/series and also writes them to
 ``benchmarks/results/<experiment>.txt`` so they can be compared against the
@@ -23,6 +32,7 @@ import pytest
 
 from repro.baselines import EVALUATED_DESIGNS
 from repro.sim.runner import ExperimentRunner
+from repro.sim.store import ResultStore
 from repro.workloads import representative_workloads
 
 FULL = os.environ.get("REPRO_FULL") == "1"
@@ -33,6 +43,24 @@ SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "256"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _workers_from_env() -> int:
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "auto")
+    if raw == "auto":
+        return max(1, min(8, os.cpu_count() or 1))
+    return max(1, int(raw))
+
+
+def _store_from_env():
+    raw = os.environ.get("REPRO_BENCH_STORE", str(RESULTS_DIR / "store"))
+    if raw in ("0", "off", ""):
+        return None
+    return ResultStore(raw)
+
+
+WORKERS = _workers_from_env()
+STORE = _store_from_env()
 
 
 def emit(experiment: str, text: str) -> None:
@@ -49,7 +77,8 @@ def run_once(benchmark, fn):
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    return ExperimentRunner(num_references=REFS, scale=SCALE, seed=SEED)
+    return ExperimentRunner(num_references=REFS, scale=SCALE, seed=SEED,
+                            workers=WORKERS, store=STORE)
 
 
 @pytest.fixture(scope="session")
@@ -62,7 +91,14 @@ def main_sweep(runner, bench_workloads):
     """The 1 GB-NM (1:16) sweep of all evaluated designs.
 
     Figures 13 and 15-18 all read from this single sweep so the expensive
-    simulations run once per benchmark session.
+    simulations run once per benchmark session (and, thanks to the result
+    store, once per store lifetime).
     """
-    return runner.sweep_designs_by_name(list(EVALUATED_DESIGNS),
-                                        bench_workloads, nm_gb=1)
+    sweep = runner.sweep_designs_by_name(list(EVALUATED_DESIGNS),
+                                         bench_workloads, nm_gb=1)
+    report = runner.last_report
+    if report is not None:
+        print(f"\nmain sweep: {report.total} jobs, {report.simulated} "
+              f"simulated, {report.cached} from store "
+              f"(workers={report.workers})")
+    return sweep

@@ -10,15 +10,17 @@ The script contrasts two workloads from the paper's discussion:
 
 Hybrid2 combines a small sectored cache (fast adaptation, bounded metadata)
 with migration (capacity, no over-fetch collapse), so it should track the
-better of the two worlds on both workloads.
+better of the two worlds on both workloads.  Both workloads and all designs
+go through one engine sweep, so ``--workers`` parallelises the whole study.
 
 Run with::
 
-    python examples/caching_vs_migration.py
+    python examples/caching_vs_migration.py [--workers N] [--store DIR]
 """
 
-from repro import make_config, make_design, simulate
-from repro.baselines.fm_only import FarMemoryOnly
+import argparse
+
+from repro import ExperimentRunner
 from repro.sim import metrics
 from repro.workloads import get_workload
 
@@ -26,26 +28,30 @@ NUM_REFERENCES = 20_000
 DESIGNS = ("MPOD", "LGM", "TAGLESS", "HYBRID2")
 
 
-def run_workload(name: str) -> None:
-    config = make_config(nm_gb=1, fm_gb=16, scale=256)
+def print_workload(sweep, name: str) -> None:
     workload = get_workload(name)
-    baseline = simulate(FarMemoryOnly(config), workload,
-                        num_references=NUM_REFERENCES, seed=2)
-
+    baseline = sweep.baselines[name]
     print(f"\n=== {name} (coverage {workload.region_coverage:.2f}, "
           f"MPKI {workload.mpki}) ===")
     print(f"{'design':10s} {'speedup':>8s} {'NM %':>6s} {'FM traffic norm':>16s}")
     for design in DESIGNS:
-        result = simulate(make_design(design, config), workload,
-                          num_references=NUM_REFERENCES, seed=2)
+        result = sweep.run_for(design, name)
         print(f"{design:10s} {result.speedup_over(baseline):8.2f} "
               f"{100 * result.nm_service_ratio:6.1f} "
               f"{metrics.normalised_traffic(result, baseline, 'fm'):16.2f}")
 
 
 def main() -> None:
-    run_workload("lbm")        # spatial locality: caches win big
-    run_workload("deepsjeng")  # over-fetch trap: page-grain caches collapse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--store", default=None, metavar="DIR")
+    args = parser.parse_args()
+
+    runner = ExperimentRunner(num_references=NUM_REFERENCES, seed=2,
+                              workers=args.workers, store=args.store)
+    sweep = runner.sweep(list(DESIGNS), ["lbm", "deepsjeng"], nm_gb=1)
+    print_workload(sweep, "lbm")        # spatial locality: caches win big
+    print_workload(sweep, "deepsjeng")  # over-fetch trap: caches collapse
     print("\nHybrid2 follows the caches on the friendly workload and avoids "
           "the Tagless-style collapse on the hostile one.")
 

@@ -5,33 +5,41 @@ plus the capacity argument of the paper.
 For a capacity-sensitive workload the interesting comparison is not only
 speedup but how much main memory each organisation leaves to software:
 DRAM caches spend the whole near memory on caching, Hybrid2 gives almost
-all of it back.
+all of it back.  Each NM size is one engine sweep, so with ``--store`` a
+re-run simulates nothing and with ``--workers`` the designs fan out.
 
 Run with::
 
-    python examples/capacity_scaling.py
+    python examples/capacity_scaling.py [--workers N] [--store DIR]
 """
 
-from repro import make_config, make_design, simulate
-from repro.baselines.fm_only import FarMemoryOnly
+import argparse
+
+from repro import ExperimentRunner
 from repro.workloads import get_workload
 
 NUM_REFERENCES = 16_000
+DESIGNS = ("DFC", "HYBRID2")
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--store", default=None, metavar="DIR")
+    args = parser.parse_args()
+
     workload = get_workload("gcc")
+    runner = ExperimentRunner(num_references=NUM_REFERENCES, seed=4,
+                              workers=args.workers, store=args.store)
     print(f"Workload: {workload.name}\n")
     print(f"{'NM size':>8s} {'design':10s} {'speedup':>8s} {'NM %':>6s} "
           f"{'flat capacity (MB)':>19s} {'vs caches':>10s}")
     for nm_gb in (1, 2, 4):
-        config = make_config(nm_gb=nm_gb, fm_gb=16, scale=256)
-        baseline = simulate(FarMemoryOnly(config), workload,
-                            num_references=NUM_REFERENCES, seed=4)
-        cache_capacity = config.far.capacity_bytes
-        for design in ("DFC", "HYBRID2"):
-            result = simulate(make_design(design, config), workload,
-                              num_references=NUM_REFERENCES, seed=4)
+        sweep = runner.sweep(list(DESIGNS), [workload], nm_gb=nm_gb)
+        baseline = sweep.baselines[workload.name]
+        cache_capacity = sweep.config.far.capacity_bytes
+        for design in DESIGNS:
+            result = sweep.run_for(design, workload.name)
             extra = (result.flat_capacity_bytes - cache_capacity) / cache_capacity
             print(f"{nm_gb:>6d}GB {design:10s} "
                   f"{result.speedup_over(baseline):8.2f} "

@@ -6,35 +6,40 @@ The migration decision of Section 3.7 combines an access-counter comparison,
 a net-cost function and an FM bandwidth budget.  This example compares the
 full policy against always-migrating and never-migrating variants and the
 No-Remap ideal, showing how the policy balances migration benefit against
-swap traffic.
+swap traffic.  The variant factories are promoted to picklable design
+references by the sweep engine, so the whole ablation is one fan-out.
 
 Run with::
 
-    python examples/migration_policy_ablation.py
+    python examples/migration_policy_ablation.py [--workers N] [--store DIR]
 """
 
-from repro import make_config, simulate
-from repro.baselines.fm_only import FarMemoryOnly
+import argparse
+
+from repro import ExperimentRunner
 from repro.core.variants import BREAKDOWN_VARIANTS
-from repro.workloads import get_workload
 
 NUM_REFERENCES = 20_000
 WORKLOADS = ("gcc", "omnetpp", "dc.B")
 
 
 def main() -> None:
-    config = make_config(nm_gb=1, fm_gb=16, scale=256)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--store", default=None, metavar="DIR")
+    args = parser.parse_args()
+
+    runner = ExperimentRunner(num_references=NUM_REFERENCES, seed=3,
+                              workers=args.workers, store=args.store)
+    sweep = runner.sweep(list(BREAKDOWN_VARIANTS.values()), list(WORKLOADS),
+                         nm_gb=1, design_names=list(BREAKDOWN_VARIANTS))
     for name in WORKLOADS:
-        workload = get_workload(name)
-        baseline = simulate(FarMemoryOnly(config), workload,
-                            num_references=NUM_REFERENCES, seed=3)
+        baseline = sweep.baselines[name]
         print(f"\n=== {name} ===")
         print(f"{'variant':12s} {'speedup':>8s} {'migrations':>11s} "
               f"{'FM MB':>8s} {'NM %':>6s}")
-        for label, factory in BREAKDOWN_VARIANTS.items():
-            system = factory(config)
-            result = simulate(system, workload,
-                              num_references=NUM_REFERENCES, seed=3)
+        for label in BREAKDOWN_VARIANTS:
+            result = sweep.run_for(label, name)
             migrations = int(result.stats.get("policy.migrations"))
             print(f"{label:12s} {result.speedup_over(baseline):8.2f} "
                   f"{migrations:11d} "

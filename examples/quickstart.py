@@ -2,19 +2,30 @@
 """Quickstart: simulate Hybrid2 on one workload and compare it against the
 no-NM baseline and a DRAM cache.
 
+The comparison runs through the sweep engine, so ``--workers`` fans the
+designs out over processes and ``--store`` caches every run on disk
+(re-running the example then simulates nothing).
+
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--workers N] [--store DIR]
 """
 
-from repro import make_config, make_design, simulate
-from repro.baselines.fm_only import FarMemoryOnly
+import argparse
+
+from repro import ExperimentRunner, make_config
 from repro.workloads import get_workload
 
 NUM_REFERENCES = 20_000
+DESIGNS = ("HYBRID2", "DFC", "TAGLESS", "MPOD")
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--store", default=None, metavar="DIR")
+    args = parser.parse_args()
+
     # A 1 GB near memory : 16 GB far memory system (Table 1), scaled 1/256
     # so the pure-Python model stays fast: 4 MB HBM2 + 64 MB DDR4.
     config = make_config(nm_gb=1, fm_gb=16, scale=256)
@@ -25,18 +36,18 @@ def main() -> None:
     print(f"Near memory: {config.near.capacity_bytes >> 20} MB, "
           f"far memory: {config.far.capacity_bytes >> 20} MB\n")
 
-    baseline = simulate(FarMemoryOnly(config), workload,
-                        num_references=NUM_REFERENCES, seed=1)
+    runner = ExperimentRunner(num_references=NUM_REFERENCES, seed=1,
+                              workers=args.workers, store=args.store)
+    sweep = runner.sweep(list(DESIGNS), [workload], config=config)
+    baseline = sweep.baselines[workload.name]
+
     print(f"{'design':10s} {'speedup':>8s} {'served from NM':>15s} "
           f"{'FM traffic (MB)':>16s} {'capacity (MB)':>14s}")
     print(f"{'BASELINE':10s} {1.0:8.2f} {0.0:15.2f} "
           f"{baseline.fm_traffic_bytes / 2**20:16.2f} "
           f"{baseline.flat_capacity_bytes / 2**20:14.1f}")
-
-    for design in ("HYBRID2", "DFC", "TAGLESS", "MPOD"):
-        system = make_design(design, config)
-        result = simulate(system, workload, num_references=NUM_REFERENCES,
-                          seed=1)
+    for design in DESIGNS:
+        result = sweep.run_for(design, workload.name)
         print(f"{design:10s} {result.speedup_over(baseline):8.2f} "
               f"{result.nm_service_ratio:15.2f} "
               f"{result.fm_traffic_bytes / 2**20:16.2f} "

@@ -26,10 +26,12 @@ from .baselines import (DESIGN_FACTORIES, EVALUATED_DESIGNS, MemorySystem,
 from .workloads import (WORKLOADS, WorkloadSpec, generate_trace, get_workload,
                         representative_workloads, workloads_by_class)
 from .sim.simulator import RunResult, Simulator, simulate
-from .sim.runner import ExperimentRunner
+from .sim.runner import ExperimentRunner, SweepResult
+from .sim.store import ResultStore
+from .sim.sweep import DesignRef, SweepJob, run_jobs
 from .sim import metrics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CoreParams",
@@ -58,6 +60,11 @@ __all__ = [
     "Simulator",
     "simulate",
     "ExperimentRunner",
+    "SweepResult",
+    "ResultStore",
+    "DesignRef",
+    "SweepJob",
+    "run_jobs",
     "metrics",
     "__version__",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 import abc
 from typing import Optional
 
-from ..common import LINE_SIZE, AccessOutcome
+from ..common import AccessOutcome
 from ..memory.controller import MemoryController
 from ..params import DramParams, SystemConfig
 from ..stats import Stats

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..common import LINE_SIZE, AccessOutcome, full_mask, popcount
 from ..params import SystemConfig

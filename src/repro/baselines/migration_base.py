@@ -19,9 +19,9 @@ segments to migrate when an interval expires).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional
+from typing import Optional
 
-from ..common import LINE_SIZE, AccessOutcome, MemoryKind
+from ..common import LINE_SIZE, AccessOutcome
 from ..core.remap import RemapTable
 from ..params import SystemConfig
 from ..stats import Stats

@@ -9,7 +9,7 @@ paper's LLC description.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from ..params import CoreParams, SramCacheParams
 from .cache import SetAssociativeCache

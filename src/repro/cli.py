@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro-sweep``
+console script after ``pip install -e .``).
+
+Subcommands:
+
+* ``sweep`` — run a (design x workload) sweep through the parallel engine,
+  optionally writing a JSON report and caching every cell in the
+  persistent result store::
+
+      python -m repro sweep --designs HYBRID2 DFC --workloads mcf lbm \
+          --workers 4 --out results.json
+
+* ``designs`` — list the design registry (paper labels).
+* ``workloads`` — list the Table 2 workload catalog.
+* ``store`` — inspect or clear the result store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .baselines import DESIGN_FACTORIES, EVALUATED_DESIGNS
+from .sim.runner import ExperimentRunner
+from .sim.store import ResultStore, default_store_root
+from .sim.sweep import DesignRef
+from .workloads.catalog import (MPKI_CLASSES, WORKLOADS, get_workload,
+                                representative_workloads, workloads_by_class)
+
+
+def _parse_workloads(tokens: Sequence[str], per_class: Optional[int]) -> List:
+    """Expand workload tokens: names, ``all`` and ``class:<name>``."""
+    if per_class is not None:
+        return representative_workloads(per_class=per_class)
+    specs = []
+    for token in tokens:
+        if token == "all":
+            specs.extend(WORKLOADS)
+        elif token.startswith("class:"):
+            specs.extend(workloads_by_class(token.split(":", 1)[1]))
+        else:
+            specs.append(get_workload(token))
+    seen = set()
+    unique = []
+    for spec in specs:
+        if spec.name not in seen:
+            seen.add(spec.name)
+            unique.append(spec)
+    return unique
+
+
+def _parse_designs(tokens: Sequence[str]) -> List[DesignRef]:
+    """Expand design tokens: registry labels, ``evaluated`` and
+    ``module:attr`` factory paths (optionally ``label=module:attr``)."""
+    refs = []
+    for token in tokens:
+        if token == "evaluated":
+            refs.extend(DesignRef.of(name) for name in EVALUATED_DESIGNS)
+            continue
+        label = None
+        if "=" in token:
+            label, _, token = token.partition("=")
+        refs.append(DesignRef.of(token, label=label))
+    return refs
+
+
+def _add_sweep_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("sweep", help="run a design x workload sweep")
+    p.add_argument("--designs", nargs="+", default=["evaluated"],
+                   help="design labels, 'evaluated', or module:attr factory "
+                        "paths (optionally label=module:attr)")
+    p.add_argument("--workloads", nargs="+", default=["all"],
+                   help="workload names, 'all', or class:<high|medium|low>")
+    p.add_argument("--per-class", type=int, default=None,
+                   help="use the first N workloads of every MPKI class "
+                        "instead of --workloads")
+    p.add_argument("--nm-gb", type=int, default=1, choices=(1, 2, 4),
+                   help="paper near-memory capacity (default 1)")
+    p.add_argument("--fm-gb", type=int, default=16,
+                   help="paper far-memory capacity (default 16)")
+    p.add_argument("--refs", type=int, default=40_000,
+                   help="references per run (default 40000)")
+    p.add_argument("--scale", type=int, default=256,
+                   help="capacity scale denominator (default 256)")
+    p.add_argument("--seed", type=int, default=1, help="trace seed")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = serial)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help=f"result-store directory (default "
+                        f"{default_store_root()})")
+    p.add_argument("--no-store", action="store_true",
+                   help="disable the persistent result store")
+    p.add_argument("--no-baselines", action="store_true",
+                   help="skip the no-NM baseline runs (no speedups)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the full sweep as JSON")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    designs = _parse_designs(args.designs)
+    workloads = _parse_workloads(args.workloads, args.per_class)
+    if not designs or not workloads:
+        print("nothing to sweep: no designs or no workloads", file=sys.stderr)
+        return 2
+    store = None if args.no_store else ResultStore(args.store)
+    runner = ExperimentRunner(num_references=args.refs, scale=args.scale,
+                              fm_gb=args.fm_gb, seed=args.seed,
+                              workers=args.workers, store=store)
+    result = runner.sweep(designs, workloads, nm_gb=args.nm_gb,
+                          baselines=not args.no_baselines)
+    report = runner.last_report
+    print(f"sweep: {len(designs)} designs x {len(workloads)} workloads "
+          f"(nm {args.nm_gb} GB, {args.refs} refs, seed {args.seed}, "
+          f"workers {args.workers})")
+    if report is not None:
+        print(f"jobs: {report.total} total, {report.simulated} simulated, "
+              f"{report.cached} from store")
+    if not args.no_baselines:
+        for design in result.design_labels():
+            by_class = result.class_speedups(design)
+            rendered = "  ".join(f"{klass}={by_class[klass]:.3f}"
+                                 for klass in (*MPKI_CLASSES, "all")
+                                 if klass in by_class)
+            print(f"  {design:12s} speedup {rendered}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_designs(_args: argparse.Namespace) -> int:
+    for name in DESIGN_FACTORIES:
+        marker = "*" if name in EVALUATED_DESIGNS else " "
+        print(f"{marker} {name}")
+    print("(* = evaluated in the paper's main figures)")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    specs = (workloads_by_class(args.mpki_class) if args.mpki_class
+             else WORKLOADS)
+    for spec in specs:
+        print(f"{spec.name:12s} {spec.suite:4s} {spec.mpki_class:6s} "
+              f"mpki={spec.mpki:<6g} footprint={spec.footprint_gb}GB")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} cached results from {store.root}")
+    else:
+        print(f"store {store.root}: {len(store)} cached results")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid2 reproduction: parallel design-space sweeps")
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_sweep_parser(sub)
+    sub.add_parser("designs", help="list the design registry")
+    p_workloads = sub.add_parser("workloads",
+                                 help="list the Table 2 workload catalog")
+    p_workloads.add_argument("--class", dest="mpki_class", default=None,
+                             choices=MPKI_CLASSES)
+    p_store = sub.add_parser("store", help="inspect or clear the result store")
+    p_store.add_argument("--store", default=None, metavar="DIR")
+    p_store.add_argument("--clear", action="store_true")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "sweep": _cmd_sweep,
+        "designs": _cmd_designs,
+        "workloads": _cmd_workloads,
+        "store": _cmd_store,
+    }
+    try:
+        return handlers[args.command](args)
+    except (KeyError, ValueError) as exc:
+        # Unknown designs/workloads and malformed options raise with a
+        # message that already names the valid choices.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

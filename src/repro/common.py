@@ -15,7 +15,7 @@ defined here, so the conventions live in a single place:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Processor cache-line size in bytes (fixed, matches the paper).
 LINE_SIZE = 64

@@ -21,9 +21,9 @@ The access path follows Figure 7 of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
-from ..common import LINE_SIZE, MemoryKind
+from ..common import LINE_SIZE
 from ..memory.controller import MemoryController
 from ..params import Hybrid2Params, SystemConfig
 from ..stats import Stats

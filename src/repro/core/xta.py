@@ -16,7 +16,7 @@ with the metadata that lets the same structure drive migration:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..common import full_mask, popcount

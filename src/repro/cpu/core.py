@@ -21,7 +21,7 @@ parallelism).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque
 
 from ..params import CoreParams

@@ -13,7 +13,7 @@ model that Python can drive through millions of references.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .common import GIB, KIB, MIB
 

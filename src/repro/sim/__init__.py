@@ -1,8 +1,10 @@
-"""Simulation harness: the simulator, metrics, experiment runner and tables."""
+"""Simulation harness: simulator, sweep engine, result store and tables."""
 
 from . import metrics, tables
 from .runner import ExperimentRunner, SweepResult
 from .simulator import RunResult, Simulator, simulate
+from .store import ResultStore, open_store
+from .sweep import DesignRef, InlineDesign, SweepJob, SweepReport, run_jobs
 
 __all__ = [
     "metrics",
@@ -12,4 +14,11 @@ __all__ = [
     "RunResult",
     "Simulator",
     "simulate",
+    "ResultStore",
+    "open_store",
+    "DesignRef",
+    "InlineDesign",
+    "SweepJob",
+    "SweepReport",
+    "run_jobs",
 ]

@@ -1,27 +1,41 @@
 """Experiment runner: sweeps of designs x workloads x configurations.
 
-The benchmark harness (one bench per paper table/figure) and the examples
-all drive their sweeps through :class:`ExperimentRunner`, which takes care
-of instantiating a *fresh* memory system per run (state never leaks between
-runs), simulating the no-NM baseline once per workload for normalisation,
-and caching results within a sweep.
+The benchmark harness (one bench per paper table/figure), the examples and
+the ``python -m repro sweep`` CLI all drive their sweeps through
+:class:`ExperimentRunner`.  Since the parallel-sweep refactor the runner is
+a thin orchestration layer: it decomposes a sweep into independent
+:class:`~repro.sim.sweep.SweepJob` cells (plus the no-NM baseline per
+workload, used for every normalisation), hands them to
+:func:`~repro.sim.sweep.run_jobs` — which fans out over a process pool when
+``workers > 1`` and serves already-simulated cells from the persistent
+:class:`~repro.sim.store.ResultStore` — and merges the per-job
+:class:`RunResult`s back into a :class:`SweepResult`.
+
+Every job builds a *fresh* memory system from its configuration, so state
+never leaks between runs and a ``workers=N`` sweep is bit-identical to the
+``workers=1`` serial path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (Callable, Dict, List, Optional, Sequence, Union)
 
-from ..baselines import DESIGN_FACTORIES, make_design
+from ..baselines import DESIGN_FACTORIES
 from ..baselines.base import MemorySystem
-from ..baselines.fm_only import FarMemoryOnly
 from ..params import SystemConfig, make_config
 from ..workloads.catalog import get_workload
 from ..workloads.synthetic import WorkloadSpec
 from . import metrics
-from .simulator import RunResult, simulate
+from .simulator import RunResult
+from .store import ResultStore, open_store
+from .sweep import (AnyDesign, DesignRef, SweepJob, SweepReport,
+                    coerce_design, run_jobs)
 
-DesignSpec = Union[str, Callable[[SystemConfig], MemorySystem]]
+DesignSpec = Union[str, DesignRef, Callable[[SystemConfig], MemorySystem]]
+
+#: Registry label of the no-NM baseline every sweep normalises against.
+BASELINE_DESIGN = "BASELINE"
 
 
 @dataclass
@@ -34,6 +48,18 @@ class SweepResult:
 
     def run_for(self, design: str, workload: str) -> RunResult:
         return self.runs[(design, workload)]
+
+    def design_labels(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for design, _ in self.runs:
+            seen.setdefault(design)
+        return list(seen)
+
+    def workload_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for _, workload in self.runs:
+            seen.setdefault(workload)
+        return list(seen)
 
     def speedups(self, design: str) -> Dict[str, float]:
         """Per-workload speedup over the no-NM baseline for one design."""
@@ -55,18 +81,47 @@ class SweepResult:
                 out[workload] = fn(result, self.baselines[workload])
         return out
 
+    def as_dict(self) -> dict:
+        """JSON-serialisable rendering (used by the sweep CLI ``--out``)."""
+        return {
+            "config": self.config.describe(),
+            # ``label`` is the caller-provided sweep label (the key of the
+            # "speedups" section); ``design`` is the system's own name and
+            # may repeat across labels (e.g. DFC at several line sizes).
+            "runs": [dict(result.as_dict(), label=label)
+                     for (label, _), result in self.runs.items()],
+            "baselines": {name: result.as_dict()
+                          for name, result in self.baselines.items()},
+            "speedups": {design: self.speedups(design)
+                         for design in self.design_labels()},
+        }
+
 
 class ExperimentRunner:
-    """Runs designs over workloads at a fixed trace length and scale."""
+    """Runs designs over workloads at a fixed trace length and scale.
+
+    ``workers`` selects the execution mode: 1 keeps the classic serial
+    in-process path, ``N > 1`` fans independent jobs out over a process
+    pool.  ``store`` (a :class:`ResultStore`, a directory path, or ``None``
+    to disable caching) persists every simulated cell so repeated or
+    interrupted sweeps only simulate what is missing.
+    """
 
     def __init__(self, *, num_references: int = 40_000, scale: int = 256,
                  fm_gb: int = 16, seed: int = 1,
-                 num_cores: Optional[int] = None) -> None:
+                 num_cores: Optional[int] = None, workers: int = 1,
+                 store: Union[ResultStore, str, None] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.num_references = num_references
         self.scale = scale
         self.fm_gb = fm_gb
         self.seed = seed
         self.num_cores = num_cores
+        self.workers = workers
+        self.store = open_store(store)
+        #: Cache accounting of the most recent engine dispatch.
+        self.last_report: Optional[SweepReport] = None
 
     # ------------------------------------------------------------------
     # configuration helpers
@@ -80,10 +135,16 @@ class ExperimentRunner:
             return workload
         return get_workload(workload)
 
-    def _build(self, design: DesignSpec, config: SystemConfig) -> MemorySystem:
-        if callable(design):
-            return design(config)
-        return make_design(design, config)
+    def _job(self, design: AnyDesign, spec: WorkloadSpec,
+             config: SystemConfig) -> SweepJob:
+        return SweepJob(design=design, workload=spec, config=config,
+                        num_references=self.num_references, seed=self.seed,
+                        num_cores=self.num_cores)
+
+    def _dispatch(self, jobs: Sequence[SweepJob]) -> List[RunResult]:
+        report = run_jobs(jobs, workers=self.workers, store=self.store)
+        self.last_report = report
+        return report.results
 
     # ------------------------------------------------------------------
     # single runs
@@ -92,17 +153,13 @@ class ExperimentRunner:
                 config: SystemConfig) -> RunResult:
         """Simulate one design on one workload with a fresh memory system."""
         spec = self._resolve_workload(workload)
-        system = self._build(design, config)
-        return simulate(system, spec, num_references=self.num_references,
-                        seed=self.seed, num_cores=self.num_cores)
+        job = self._job(coerce_design(design), spec, config)
+        return self._dispatch([job])[0]
 
     def run_baseline(self, workload: Union[str, WorkloadSpec],
                      config: SystemConfig) -> RunResult:
         """Simulate the no-NM baseline (used for every normalisation)."""
-        spec = self._resolve_workload(workload)
-        system = FarMemoryOnly(config)
-        return simulate(system, spec, num_references=self.num_references,
-                        seed=self.seed, num_cores=self.num_cores)
+        return self.run_one(BASELINE_DESIGN, workload, config)
 
     # ------------------------------------------------------------------
     # sweeps
@@ -110,23 +167,49 @@ class ExperimentRunner:
     def sweep(self, designs: Sequence[DesignSpec],
               workloads: Sequence[Union[str, WorkloadSpec]],
               nm_gb: int = 1, config: Optional[SystemConfig] = None,
-              design_names: Optional[Sequence[str]] = None) -> SweepResult:
-        """Run every design on every workload plus the baseline per workload."""
+              design_names: Optional[Sequence[str]] = None,
+              baselines: bool = True) -> SweepResult:
+        """Run every design on every workload (plus, by default, the no-NM
+        baseline per workload), decomposed into independent jobs.
+
+        Results are indexed by the caller-provided label so sweeps over
+        factories that share a design name (e.g. DFC at several line sizes)
+        stay distinguishable.  Set ``baselines=False`` for sweeps that do
+        not normalise (e.g. the Figure 1 wasted-data study).
+        """
         config = config or self.config_for(nm_gb)
         names = list(design_names) if design_names else [
-            d if isinstance(d, str) else getattr(d, "__name__", f"design{i}")
+            d if isinstance(d, str)
+            else d.label if isinstance(d, DesignRef)
+            else getattr(d, "__name__", f"design{i}")
             for i, d in enumerate(designs)
         ]
+        refs = [coerce_design(design, name)
+                for design, name in zip(designs, names)]
+        specs = [self._resolve_workload(w) for w in workloads]
+
+        jobs: List[SweepJob] = []
+        # Index entries carry the caller label, or None for the no-NM
+        # baseline runs (out of band, so a design may be labelled anything —
+        # even "baseline" — without being misrouted).
+        index: List[tuple] = []
+        if baselines:
+            baseline_ref = coerce_design(BASELINE_DESIGN)
+            for spec in specs:
+                jobs.append(self._job(baseline_ref, spec, config))
+                index.append((None, spec.name))
+        for spec in specs:
+            for ref, name in zip(refs, names):
+                jobs.append(self._job(ref, spec, config))
+                index.append((name, spec.name))
+
+        results = self._dispatch(jobs)
         sweep = SweepResult(config=config)
-        for workload in workloads:
-            spec = self._resolve_workload(workload)
-            sweep.baselines[spec.name] = self.run_baseline(spec, config)
-            for design, name in zip(designs, names):
-                result = self.run_one(design, spec, config)
-                # Index by the caller-provided label so sweeps over factories
-                # that share a design name (e.g. DFC at several line sizes)
-                # stay distinguishable.
-                sweep.runs[(name, spec.name)] = result
+        for (name, workload_name), result in zip(index, results):
+            if name is None:
+                sweep.baselines[workload_name] = result
+            else:
+                sweep.runs[(name, workload_name)] = result
         return sweep
 
     def sweep_designs_by_name(self, design_names: Sequence[str],

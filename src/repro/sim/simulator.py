@@ -19,7 +19,7 @@ evaluation is computed from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from ..baselines.base import MemorySystem
 from ..cache.hierarchy import CacheHierarchy
@@ -48,6 +48,41 @@ class RunResult:
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable rendering (used by the result store and CLI)."""
+        return {
+            "design": self.design,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "references": self.references,
+            "nm_service_ratio": self.nm_service_ratio,
+            "nm_traffic_bytes": self.nm_traffic_bytes,
+            "fm_traffic_bytes": self.fm_traffic_bytes,
+            "energy_pj": self.energy_pj,
+            "flat_capacity_bytes": self.flat_capacity_bytes,
+            "stats": self.stats.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Inverse of :meth:`as_dict`."""
+        stats = Stats()
+        stats.merge(data.get("stats", {}))
+        return cls(
+            design=data["design"],
+            workload=data["workload"],
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            references=data["references"],
+            nm_service_ratio=data["nm_service_ratio"],
+            nm_traffic_bytes=data["nm_traffic_bytes"],
+            fm_traffic_bytes=data["fm_traffic_bytes"],
+            energy_pj=data["energy_pj"],
+            flat_capacity_bytes=data["flat_capacity_bytes"],
+            stats=stats,
+        )
 
     @property
     def time_ns(self) -> float:

@@ -1,0 +1,118 @@
+"""Persistent result store: JSON-on-disk cache of simulation results.
+
+Every sweep cell is deterministic given its :meth:`SweepJob.cache_key`
+(design, workload spec, system configuration, trace length, seed, core
+count), so results can be cached across processes and sessions.  The store
+keeps one small JSON file per key under a root directory; re-running a
+bench or resuming an interrupted full sweep then only simulates the
+missing cells.
+
+Writes are atomic (tempfile + rename), so parallel sweep processes and
+concurrent bench sessions can share one store without corrupting it;
+unreadable or stale-format files are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from .simulator import RunResult
+
+#: Bump when the on-disk layout of a stored result changes.
+STORE_FORMAT = 1
+
+#: Default store location (relative to the current working directory);
+#: override with the ``REPRO_STORE`` environment variable, the CLI
+#: ``--store`` flag or an explicit :class:`ResultStore`.
+DEFAULT_STORE_DIR = ".repro-store"
+
+
+def default_store_root() -> Path:
+    """Resolve the default store root (``REPRO_STORE`` wins if set)."""
+    return Path(os.environ.get("REPRO_STORE", DEFAULT_STORE_DIR))
+
+
+class ResultStore:
+    """Directory of ``<key>.json`` files, one per cached :class:`RunResult`."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+
+    # ------------------------------------------------------------------
+    # mapping-ish interface
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        if not key or any(c in key for c in "/\\."):
+            raise ValueError(f"malformed store key {key!r}")
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Cached result for ``key``, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("format") != STORE_FORMAT:
+            return None
+        try:
+            return RunResult.from_dict(payload["result"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Persist ``result`` under ``key`` (atomic, last writer wins)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {"format": STORE_FORMAT, "key": key,
+                   "result": result.as_dict()}
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every cached result; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r}, {len(self)} results)"
+
+
+def open_store(store: Union["ResultStore", str, Path, None]
+               ) -> Optional[ResultStore]:
+    """Coerce a store argument: ``None`` stays ``None`` (caching off),
+    paths become stores, stores pass through."""
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)

@@ -1,0 +1,309 @@
+"""Parallel sweep engine: decompose a sweep into independent jobs.
+
+The paper's evaluation is a large design-space sweep (30 workloads x 7+
+designs x 3 NM sizes).  Every (design, workload, configuration) cell is an
+independent simulation — each run builds a *fresh* memory system and a
+deterministic trace from an explicit seed — so the sweep parallelises
+trivially.  This module provides the pieces:
+
+* :class:`DesignRef` — a picklable, hashable reference to a memory-system
+  design: either a registry label (``"HYBRID2"``) or an importable factory
+  (``"repro.baselines.dfc:DecoupledFusedCache"``) plus keyword arguments.
+  Lambdas and other non-importable callables are wrapped in
+  :class:`InlineDesign`, which still runs (serially, uncached) so old
+  call sites keep working.
+* :class:`SweepJob` — one simulation cell.  ``cache_key()`` returns a
+  stable hash of everything that determines the result (design, workload
+  spec, system configuration, trace length, seed, core count), used by the
+  persistent :class:`~repro.sim.store.ResultStore`.
+* :func:`run_jobs` — execute a list of jobs, fanning out over a
+  ``multiprocessing.Pool`` when ``workers > 1``.  Workers re-seed their
+  RNGs and build fresh systems, so results are bit-identical to a serial
+  run; jobs whose results are already in the store are not re-simulated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import pickle
+import random
+from dataclasses import asdict, dataclass, field
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
+
+import numpy as np
+
+from ..baselines.base import MemorySystem
+from ..params import SystemConfig
+from ..workloads.synthetic import WorkloadSpec
+from .simulator import RunResult, simulate
+
+#: Bump to invalidate every stored result when the engine's semantics
+#: (simulate() defaults, key layout, result schema) change incompatibly.
+ENGINE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# design references
+# ---------------------------------------------------------------------------
+def _resolve_target(target: str) -> Callable[..., MemorySystem]:
+    """Resolve a design target to a factory callable.
+
+    ``target`` is either a label of the design registry
+    (:data:`~repro.baselines.DESIGN_FACTORIES`) or an importable
+    ``"module:attribute"`` path.
+    """
+    if ":" in target:
+        module_name, _, attr = target.partition(":")
+        module = importlib.import_module(module_name)
+        factory = getattr(module, attr)
+        if not callable(factory):
+            raise TypeError(f"design target {target!r} is not callable")
+        return factory
+    from ..baselines import DESIGN_FACTORIES
+
+    try:
+        return DESIGN_FACTORIES[target.upper()]
+    except KeyError:
+        raise KeyError(f"unknown design {target!r}; known: "
+                       f"{sorted(DESIGN_FACTORIES)}")
+
+
+@dataclass(frozen=True)
+class DesignRef:
+    """Picklable, hashable reference to a memory-system design.
+
+    ``target`` is a registry label (``"HYBRID2"``) or an importable
+    ``"module:attribute"`` factory path; ``kwargs`` (stored as a sorted
+    tuple of pairs so the reference stays hashable) are forwarded to the
+    factory after the :class:`~repro.params.SystemConfig`.
+    """
+
+    label: str
+    target: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, target: str, label: Optional[str] = None,
+           **kwargs: Any) -> "DesignRef":
+        return cls(label=label or target.upper(), target=target,
+                   kwargs=tuple(sorted(kwargs.items())))
+
+    def build(self, config: SystemConfig) -> MemorySystem:
+        """Instantiate a fresh memory system for ``config``."""
+        return _resolve_target(self.target)(config, **dict(self.kwargs))
+
+    def key_dict(self) -> Dict[str, Any]:
+        """Stable description used in the job hash (label excluded: two
+        labels for the same target+kwargs share cached results)."""
+        return {"target": self.target, "kwargs": dict(self.kwargs)}
+
+
+@dataclass(frozen=True)
+class InlineDesign:
+    """Fallback wrapper for designs given as arbitrary callables.
+
+    Lambdas/closures cannot be imported by name in a worker process nor
+    hashed stably, so inline designs run in-process and bypass the result
+    store.  Prefer :class:`DesignRef` for anything swept at scale.
+    """
+
+    label: str
+    factory: Callable[[SystemConfig], MemorySystem] = field(compare=False)
+
+    def build(self, config: SystemConfig) -> MemorySystem:
+        return self.factory(config)
+
+    def key_dict(self) -> None:
+        return None
+
+
+AnyDesign = Union[DesignRef, InlineDesign]
+
+
+def coerce_design(design: Union[str, DesignRef, InlineDesign, Callable],
+                  label: Optional[str] = None) -> AnyDesign:
+    """Normalise a design given as a label, reference or callable.
+
+    Module-level callables (classes, factory functions) are promoted to a
+    :class:`DesignRef` by their import path, which makes them picklable for
+    the worker pool and cacheable in the result store; everything else
+    falls back to :class:`InlineDesign`.
+    """
+    if isinstance(design, (DesignRef, InlineDesign)):
+        if label and label != design.label:
+            if isinstance(design, DesignRef):
+                return DesignRef(label=label, target=design.target,
+                                 kwargs=design.kwargs)
+            return InlineDesign(label=label, factory=design.factory)
+        return design
+    if isinstance(design, str):
+        _resolve_target(design)          # fail fast on unknown labels
+        return DesignRef.of(design, label=label)
+    if callable(design):
+        module = getattr(design, "__module__", None)
+        qualname = getattr(design, "__qualname__", "")
+        if module and qualname and "<" not in qualname and "." not in qualname:
+            target = f"{module}:{qualname}"
+            try:
+                if _resolve_target(target) is design:
+                    return DesignRef.of(
+                        target, label=label or qualname.upper())
+            except Exception:
+                pass
+        return InlineDesign(label=label or getattr(design, "__name__",
+                                                   "design"), factory=design)
+    raise TypeError(f"cannot interpret design spec {design!r}")
+
+
+# ---------------------------------------------------------------------------
+# jobs
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepJob:
+    """One independent simulation cell of a sweep."""
+
+    design: AnyDesign
+    workload: WorkloadSpec
+    config: SystemConfig
+    num_references: int
+    seed: int
+    num_cores: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        return self.design.label
+
+    def cache_key(self) -> Optional[str]:
+        """Stable hash of everything that determines this job's result.
+
+        ``None`` for inline (non-importable) designs, which cannot be
+        described stably and therefore bypass the store.
+        """
+        design = self.design.key_dict()
+        if design is None:
+            return None
+        payload = {
+            "engine": ENGINE_VERSION,
+            "design": design,
+            "workload": self.workload.as_dict(),
+            "config": asdict(self.config),
+            "num_references": self.num_references,
+            "seed": self.seed,
+            "num_cores": self.num_cores,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def run(self) -> RunResult:
+        """Simulate this cell with a fresh memory system."""
+        # Belt and braces: simulate() derives all randomness from explicit
+        # seeds, but re-seed the global RNGs too so no library falls back to
+        # worker-dependent entropy and serial == parallel stays bit-exact.
+        random.seed(self.seed)
+        np.random.seed(self.seed & 0xFFFFFFFF)
+        system = self.design.build(self.config)
+        return simulate(system, self.workload,
+                        num_references=self.num_references, seed=self.seed,
+                        num_cores=self.num_cores)
+
+
+def _execute_job(job: SweepJob) -> RunResult:
+    """Top-level worker entry point (must be picklable by reference)."""
+    return job.run()
+
+
+def _execute_indexed(item: "Tuple[int, SweepJob]") -> "Tuple[int, RunResult]":
+    """Worker entry point that carries the job index through the pool, so
+    out-of-order completions can be merged (and persisted) as they arrive."""
+    index, job = item
+    return index, job.run()
+
+
+def _picklable(job: SweepJob) -> bool:
+    try:
+        pickle.dumps(job)
+        return True
+    except Exception:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+@dataclass
+class SweepReport:
+    """Outcome of :func:`run_jobs`: results plus cache accounting."""
+
+    results: List[RunResult]
+    simulated: int = 0
+    cached: int = 0
+    workers: int = 1
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+
+def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
+             store: Optional[object] = None) -> SweepReport:
+    """Execute ``jobs``, in parallel when ``workers > 1``.
+
+    Results come back in job order regardless of completion order.  When a
+    :class:`~repro.sim.store.ResultStore` is given, jobs whose key is
+    already present are served from disk and only the missing cells are
+    simulated; fresh results are written back so an interrupted sweep can
+    resume where it stopped.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    jobs = list(jobs)
+    results: List[Optional[RunResult]] = [None] * len(jobs)
+    keys: List[Optional[str]] = [None] * len(jobs)
+
+    pending: List[int] = []
+    cached = 0
+    for i, job in enumerate(jobs):
+        if store is not None:
+            keys[i] = job.cache_key()
+            if keys[i] is not None:
+                hit = store.get(keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    cached += 1
+                    continue
+        pending.append(i)
+
+    parallel: List[int] = []
+    serial: List[int] = []
+    if workers > 1 and len(pending) > 1:
+        for i in pending:
+            (parallel if _picklable(jobs[i]) else serial).append(i)
+    else:
+        serial = pending
+
+    # Results are persisted as they complete (not after the whole batch), so
+    # an interrupted sweep keeps every finished cell and a re-run resumes
+    # from the missing ones.
+    def finish(i: int, result: RunResult) -> None:
+        results[i] = result
+        if store is not None and keys[i] is not None:
+            store.put(keys[i], result)
+
+    if parallel:
+        import multiprocessing
+
+        processes = min(workers, len(parallel))
+        with multiprocessing.Pool(processes=processes) as pool:
+            for i, result in pool.imap_unordered(
+                    _execute_indexed, [(i, jobs[i]) for i in parallel],
+                    chunksize=1):
+                finish(i, result)
+    for i in serial:
+        finish(i, jobs[i].run())
+
+    assert all(r is not None for r in results), "job left without a result"
+    return SweepReport(results=list(results), simulated=len(pending),
+                       cached=cached, workers=workers)

@@ -30,8 +30,12 @@ class Stats:
         self._counters[name] += value
 
     def set(self, name: str, value: float) -> None:
-        """Overwrite counter ``name`` with ``value``."""
-        self._counters[name] = value
+        """Overwrite counter ``name`` with ``value``.
+
+        Coerced to float so counters serialise identically whether they come
+        from a live run or from the result store's JSON round-trip.
+        """
+        self._counters[name] = float(value)
 
     def get(self, name: str, default: float = 0.0) -> float:
         return self._counters.get(name, default)

@@ -26,7 +26,7 @@ and the MPKI controls memory intensity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import List
 
 import numpy as np
@@ -80,6 +80,20 @@ class WorkloadSpec:
 
     def with_footprint(self, footprint_gb: float) -> "WorkloadSpec":
         return replace(self, footprint_gb=footprint_gb)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable rendering.
+
+        Specs are frozen (hashable and picklable), so this dictionary — used
+        by the sweep engine's job hash and the CLI — is a complete, stable
+        description of the workload.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**data)
 
 
 def generate_trace(spec: WorkloadSpec, num_references: int, *, scale: int = 256,
@@ -200,6 +214,6 @@ def random_pattern(num_references: int, footprint_bytes: int, *, seed: int = 0,
     lines = rng.integers(0, max(1, footprint_bytes // LINE_SIZE),
                          size=num_references)
     writes = rng.random(num_references) < write_fraction
-    return Trace(TraceRecord(gap_instructions=20, address=int(l) * LINE_SIZE,
+    return Trace(TraceRecord(gap_instructions=20, address=int(line) * LINE_SIZE,
                              is_write=bool(w))
-                 for l, w in zip(lines, writes))
+                 for line, w in zip(lines, writes))

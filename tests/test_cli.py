@@ -1,0 +1,103 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+from repro.cli import main
+from repro.workloads import WORKLOADS
+
+SWEEP_ARGS = ["sweep", "--designs", "HYBRID2", "--workloads", "mcf",
+              "--refs", "500", "--scale", "1024"]
+
+
+def test_sweep_writes_json_report(tmp_path, capsys):
+    out = tmp_path / "results.json"
+    code = main(SWEEP_ARGS + ["--store", str(tmp_path / "store"),
+                              "--out", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert {run["design"] for run in payload["runs"]} == {"HYBRID2"}
+    # Every run carries its sweep label, joinable with the speedups section.
+    assert {run["label"] for run in payload["runs"]} == {"HYBRID2"}
+    assert "mcf" in payload["baselines"]
+    assert payload["speedups"]["HYBRID2"]["mcf"] > 0
+    captured = capsys.readouterr().out
+    assert "2 simulated" in captured
+
+
+def test_sweep_second_run_is_fully_cached(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(SWEEP_ARGS + ["--store", store]) == 0
+    capsys.readouterr()
+    assert main(SWEEP_ARGS + ["--store", store, "--workers", "2"]) == 0
+    captured = capsys.readouterr().out
+    assert "0 simulated" in captured
+    assert "2 from store" in captured
+
+
+def test_sweep_no_store_and_no_baselines(tmp_path, capsys):
+    code = main(SWEEP_ARGS + ["--no-store", "--no-baselines"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "1 total, 1 simulated" in captured
+    assert "speedup" not in captured
+
+
+def test_sweep_workload_classes_and_dedup(tmp_path, capsys):
+    code = main(["sweep", "--designs", "HYBRID2",
+                 "--workloads", "class:low", "mcf", "mcf",
+                 "--refs", "200", "--scale", "1024", "--no-store",
+                 "--no-baselines"])
+    assert code == 0
+    low = [spec for spec in WORKLOADS if spec.mpki_class == "low"]
+    captured = capsys.readouterr().out
+    assert f"{len(low) + 1} workloads" in captured
+
+
+def test_sweep_factory_path_designs(tmp_path, capsys):
+    code = main(["sweep", "--designs",
+                 "DFC-256=repro.baselines.dfc:DecoupledFusedCache",
+                 "--workloads", "mcf", "--refs", "200", "--scale", "1024",
+                 "--no-store"])
+    assert code == 0
+    assert "DFC-256" in capsys.readouterr().out
+
+
+def test_sweep_unknown_design_fails(capsys):
+    code = main(["sweep", "--designs", "NOPE", "--workloads", "mcf",
+                 "--no-store"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown design" in err and "HYBRID2" in err
+
+
+def test_sweep_unknown_workload_fails(capsys):
+    code = main(["sweep", "--designs", "HYBRID2", "--workloads", "nosuch",
+                 "--no-store"])
+    assert code == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_designs_listing(capsys):
+    assert main(["designs"]) == 0
+    out = capsys.readouterr().out
+    assert "HYBRID2" in out and "BASELINE" in out
+
+
+def test_workloads_listing(capsys):
+    assert main(["workloads"]) == 0
+    assert len(capsys.readouterr().out.splitlines()) == len(WORKLOADS)
+    assert main(["workloads", "--class", "high"]) == 0
+    assert all("high" in line for line in
+               capsys.readouterr().out.splitlines())
+
+
+def test_store_info_and_clear(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    main(SWEEP_ARGS + ["--store", store])
+    capsys.readouterr()
+    assert main(["store", "--store", store]) == 0
+    assert "2 cached results" in capsys.readouterr().out
+    assert main(["store", "--store", store, "--clear"]) == 0
+    assert "removed 2" in capsys.readouterr().out
+    assert main(["store", "--store", store]) == 0
+    assert "0 cached results" in capsys.readouterr().out

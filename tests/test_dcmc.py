@@ -4,7 +4,6 @@ migration, NM allocation)."""
 import pytest
 
 from repro.core.dcmc import DCMC
-from repro.core.hybrid2 import Hybrid2System
 from repro.memory.controller import MemoryController
 from repro.params import Hybrid2Params, make_config
 

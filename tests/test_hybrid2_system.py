@@ -7,6 +7,10 @@ from repro.core.variants import (BREAKDOWN_VARIANTS, cache_only, full,
                                  migrate_all, migrate_none, no_remap)
 from repro.workloads import generate_trace, get_workload
 
+# Drives full Hybrid2 systems through thousands of references per test.
+# CI's fast lane deselects these with ``-m "not slow"``.
+pytestmark = pytest.mark.slow
+
 
 def drive(system, n=1500, seed=3):
     spec = get_workload("mcf")

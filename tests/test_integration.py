@@ -11,6 +11,10 @@ from repro.sim import metrics
 from repro.sim.simulator import simulate
 from repro.workloads import get_workload
 
+# Whole-design end-to-end sweeps: the expensive part of the suite.  CI's
+# fast lane deselects these with ``-m "not slow"``.
+pytestmark = pytest.mark.slow
+
 REFERENCES = 6000
 SCALE = 512
 

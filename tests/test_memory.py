@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common import GIB, LINE_SIZE
+from repro.common import LINE_SIZE
 from repro.memory.bank import Bank
 from repro.memory.channel import Channel
 from repro.memory.controller import MemoryController

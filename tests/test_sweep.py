@@ -1,0 +1,170 @@
+"""Tests for the parallel sweep engine: job hashing, design coercion and
+serial-vs-parallel equivalence."""
+
+import pickle
+
+import pytest
+
+from repro.baselines.dfc import DecoupledFusedCache
+from repro.core.variants import cache_only
+from repro.params import Hybrid2Params, make_config
+from repro.sim.runner import ExperimentRunner
+from repro.sim.sweep import (DesignRef, InlineDesign, SweepJob, coerce_design,
+                             run_jobs)
+from repro.workloads import get_workload
+
+SCALE = 1024
+REFS = 600
+
+
+def make_job(design="HYBRID2", workload="mcf", seed=3, refs=REFS,
+             config=None, **design_kwargs):
+    config = config or make_config(nm_gb=1, fm_gb=16, scale=SCALE)
+    return SweepJob(design=coerce_design(design) if isinstance(design, str)
+                    else design,
+                    workload=get_workload(workload), config=config,
+                    num_references=refs, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# job hashing
+# ---------------------------------------------------------------------------
+def test_job_key_is_deterministic():
+    assert make_job().cache_key() == make_job().cache_key()
+
+
+def test_job_key_changes_with_every_input():
+    base = make_job().cache_key()
+    assert make_job(design="TAGLESS").cache_key() != base
+    assert make_job(workload="lbm").cache_key() != base
+    assert make_job(seed=4).cache_key() != base
+    assert make_job(refs=REFS + 1).cache_key() != base
+    other_config = make_config(nm_gb=2, fm_gb=16, scale=SCALE)
+    assert make_job(config=other_config).cache_key() != base
+    hybrid2 = Hybrid2Params(sector_bytes=4096)
+    tweaked = make_config(nm_gb=1, fm_gb=16, scale=SCALE, hybrid2=hybrid2)
+    assert make_job(config=tweaked).cache_key() != base
+
+
+def test_job_key_ignores_display_label():
+    ref_a = DesignRef.of("HYBRID2", label="A")
+    ref_b = DesignRef.of("HYBRID2", label="B")
+    config = make_config(nm_gb=1, fm_gb=16, scale=SCALE)
+    job_a = SweepJob(design=ref_a, workload=get_workload("mcf"),
+                     config=config, num_references=REFS, seed=3)
+    job_b = SweepJob(design=ref_b, workload=get_workload("mcf"),
+                     config=config, num_references=REFS, seed=3)
+    assert job_a.cache_key() == job_b.cache_key()
+
+
+def test_design_kwargs_distinguish_jobs():
+    target = "repro.baselines.dfc:DecoupledFusedCache"
+    small = coerce_design(DesignRef.of(target, label="DFC-256", line_size=256))
+    large = coerce_design(DesignRef.of(target, label="DFC-1024",
+                                       line_size=1024))
+    assert make_job(design=small).cache_key() != \
+        make_job(design=large).cache_key()
+
+
+def test_inline_design_has_no_key():
+    inline = coerce_design(lambda cfg: DecoupledFusedCache(cfg), "LAMBDA")
+    assert isinstance(inline, InlineDesign)
+    assert make_job(design=inline).cache_key() is None
+
+
+# ---------------------------------------------------------------------------
+# design coercion
+# ---------------------------------------------------------------------------
+def test_coerce_registry_label():
+    ref = coerce_design("hybrid2")
+    assert isinstance(ref, DesignRef)
+    assert ref.label == "HYBRID2"
+
+
+def test_coerce_unknown_label_raises():
+    with pytest.raises(KeyError):
+        coerce_design("NOPE")
+
+
+def test_coerce_module_level_class_and_function():
+    ref = coerce_design(DecoupledFusedCache, "DFC")
+    assert isinstance(ref, DesignRef)
+    assert ref.target.endswith(":DecoupledFusedCache")
+    ref = coerce_design(cache_only, "CACHE-ONLY")
+    assert isinstance(ref, DesignRef)
+    assert ref.target == "repro.core.variants:cache_only"
+    assert pickle.loads(pickle.dumps(ref)) == ref
+
+
+def test_design_ref_builds_with_kwargs(small_config):
+    ref = DesignRef.of("repro.baselines.dfc:DecoupledFusedCache",
+                       label="DFC-256", line_size=256)
+    system = ref.build(small_config)
+    assert isinstance(system, DecoupledFusedCache)
+    assert system.line_size == 256
+
+
+# ---------------------------------------------------------------------------
+# serial vs parallel equivalence
+# ---------------------------------------------------------------------------
+def _sweep_with_workers(workers):
+    runner = ExperimentRunner(num_references=REFS, scale=SCALE, seed=3,
+                              workers=workers)
+    return runner.sweep_designs_by_name(["HYBRID2", "TAGLESS"],
+                                        ["mcf", "lbm"], nm_gb=1)
+
+
+def test_parallel_sweep_is_bit_identical_to_serial():
+    serial = _sweep_with_workers(1)
+    parallel = _sweep_with_workers(4)
+    assert set(serial.runs) == set(parallel.runs)
+    for key in serial.runs:
+        a, b = serial.runs[key], parallel.runs[key]
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.nm_traffic_bytes == b.nm_traffic_bytes
+        assert a.fm_traffic_bytes == b.fm_traffic_bytes
+        assert a.energy_pj == b.energy_pj
+        assert a.stats.as_dict() == b.stats.as_dict()
+    for name in serial.baselines:
+        assert serial.baselines[name].cycles == parallel.baselines[name].cycles
+
+
+def test_run_jobs_mixes_inline_and_referenced_designs():
+    config = make_config(nm_gb=1, fm_gb=16, scale=SCALE)
+    jobs = [
+        make_job(design=coerce_design(lambda cfg: DecoupledFusedCache(cfg),
+                                      "LAMBDA"), config=config),
+        make_job(config=config),
+    ]
+    report = run_jobs(jobs, workers=2)
+    assert report.total == 2
+    assert report.simulated == 2
+    assert report.results[0].workload == "mcf"
+
+
+def test_design_labelled_baseline_is_not_misrouted():
+    # "baseline" is an ordinary caller label, not a reserved word: the
+    # result must land in runs and the no-NM normalisation run must still
+    # be simulated separately.
+    runner = ExperimentRunner(num_references=REFS, scale=SCALE, seed=3)
+    sweep = runner.sweep(["TAGLESS"], ["mcf"], design_names=["baseline"])
+    assert ("baseline", "mcf") in sweep.runs
+    assert "mcf" in sweep.baselines
+    assert sweep.runs[("baseline", "mcf")].design == "TAGLESS"
+    assert sweep.speedups("baseline")["mcf"] > 0
+
+
+def test_sweep_without_baselines():
+    runner = ExperimentRunner(num_references=REFS, scale=SCALE, seed=3)
+    sweep = runner.sweep(["HYBRID2"], ["mcf"], nm_gb=1, baselines=False)
+    assert not sweep.baselines
+    assert ("HYBRID2", "mcf") in sweep.runs
+    assert sweep.speedups("HYBRID2") == {}
+
+
+def test_workers_must_be_positive():
+    with pytest.raises(ValueError):
+        ExperimentRunner(workers=0)
+    with pytest.raises(ValueError):
+        run_jobs([], workers=0)
