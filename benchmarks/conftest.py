@@ -16,9 +16,10 @@ be fanned out over worker processes.  Environment knobs:
                                      (default ``benchmarks/results/store``)
 * ``REPRO_FULL=1``                   full 30-workload, 48 k-reference sweep
 
-The store is keyed by (design, workload spec, configuration, refs, seed),
-*not* by the simulator's source code — after editing simulation code, clear
-it with ``python -m repro store --store benchmarks/results/store --clear``.
+The store is keyed by (design, workload spec, configuration, refs, seed)
+plus a fingerprint of the ``repro`` package source, so editing simulation
+code automatically invalidates cached cells; stale files only occupy disk
+until ``python -m repro store --store benchmarks/results/store --clear``.
 
 Each bench prints the regenerated rows/series and also writes them to
 ``benchmarks/results/<experiment>.txt`` so they can be compared against the

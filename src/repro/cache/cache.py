@@ -1,9 +1,17 @@
-"""Set-associative, write-back, write-allocate SRAM cache model."""
+"""Set-associative, write-back, write-allocate SRAM cache model.
+
+Hit lookup is O(1): every set keeps a ``tag -> way`` dictionary next to the
+per-way state, so the hot path (probe/access/fill of a resident line) never
+scans the ways.  The linear scan survives only on the cold fill path, to
+pick the lowest-numbered invalid way exactly like the classic model did —
+keeping hit/miss/eviction sequences (and therefore every simulation
+counter) identical to the per-way-scan implementation.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..common import align_down
 from .replacement import ReplacementPolicy, make_policy
@@ -53,6 +61,8 @@ class SetAssociativeCache:
         self._sets: List[List[CacheLineState]] = [
             [CacheLineState() for _ in range(ways)] for _ in range(self.num_sets)
         ]
+        #: Per-set tag -> way index of every *valid* way (the O(1) hot path).
+        self._maps: List[Dict[int, int]] = [{} for _ in range(self.num_sets)]
         self._policies: List[ReplacementPolicy] = [
             make_policy(policy, ways, seed=i) for i in range(self.num_sets)
         ]
@@ -77,32 +87,26 @@ class SetAssociativeCache:
         """Return True if the line holding ``address`` is resident (no state
         change)."""
         set_index, tag = self._index_tag(address)
-        return any(w.valid and w.tag == tag for w in self._sets[set_index])
+        return tag in self._maps[set_index]
 
-    def access(self, address: int, is_write: bool) -> CacheAccessResult:
-        """Perform a demand access, allocating on miss (write-allocate)."""
-        set_index, tag = self._index_tag(address)
+    def _install(self, set_index: int, tag: int, dirty: bool
+                 ) -> CacheAccessResult:
+        """Shared miss path of :meth:`access`/:meth:`fill`: victimise a way
+        (lowest-numbered invalid way first, then the policy's pick) and
+        install ``tag``."""
         ways = self._sets[set_index]
+        tag_map = self._maps[set_index]
         policy = self._policies[set_index]
-
-        for way_index, way in enumerate(ways):
-            if way.valid and way.tag == tag:
-                self.hits += 1
-                way.dirty = way.dirty or is_write
-                policy.touch(way_index)
-                return CacheAccessResult(hit=True)
-
-        self.misses += 1
-        # Prefer an invalid way before evicting.
-        victim_index = next(
-            (i for i, w in enumerate(ways) if not w.valid), None)
-        if victim_index is None:
+        if len(tag_map) < self.ways:
+            victim_index = next(i for i, w in enumerate(ways) if not w.valid)
+        else:
             victim_index = policy.victim()
         victim = ways[victim_index]
 
         writeback = None
         evicted = None
         if victim.valid:
+            del tag_map[victim.tag]
             evicted = self._block_address(set_index, victim.tag)
             if victim.dirty:
                 writeback = evicted
@@ -110,53 +114,51 @@ class SetAssociativeCache:
 
         victim.tag = tag
         victim.valid = True
-        victim.dirty = is_write
+        victim.dirty = dirty
+        tag_map[tag] = victim_index
         policy.touch(victim_index)
         return CacheAccessResult(hit=False, writeback_address=writeback,
                                  evicted_address=evicted)
+
+    def access(self, address: int, is_write: bool) -> CacheAccessResult:
+        """Perform a demand access, allocating on miss (write-allocate)."""
+        set_index, tag = self._index_tag(address)
+        way_index = self._maps[set_index].get(tag)
+        if way_index is not None:
+            self.hits += 1
+            way = self._sets[set_index][way_index]
+            way.dirty = way.dirty or is_write
+            self._policies[set_index].touch(way_index)
+            return CacheAccessResult(hit=True)
+        self.misses += 1
+        return self._install(set_index, tag, is_write)
 
     def fill(self, address: int, dirty: bool = False) -> CacheAccessResult:
         """Install a line without counting a demand hit/miss (used for
         writebacks arriving from an inner level)."""
         set_index, tag = self._index_tag(address)
-        ways = self._sets[set_index]
-        policy = self._policies[set_index]
-        for way_index, way in enumerate(ways):
-            if way.valid and way.tag == tag:
-                way.dirty = way.dirty or dirty
-                policy.touch(way_index)
-                return CacheAccessResult(hit=True)
-        victim_index = next((i for i, w in enumerate(ways) if not w.valid), None)
-        if victim_index is None:
-            victim_index = policy.victim()
-        victim = ways[victim_index]
-        writeback = None
-        evicted = None
-        if victim.valid:
-            evicted = self._block_address(set_index, victim.tag)
-            if victim.dirty:
-                writeback = evicted
-                self.writebacks += 1
-        victim.tag = tag
-        victim.valid = True
-        victim.dirty = dirty
-        policy.touch(victim_index)
-        return CacheAccessResult(hit=False, writeback_address=writeback,
-                                 evicted_address=evicted)
+        way_index = self._maps[set_index].get(tag)
+        if way_index is not None:
+            way = self._sets[set_index][way_index]
+            way.dirty = way.dirty or dirty
+            self._policies[set_index].touch(way_index)
+            return CacheAccessResult(hit=True)
+        return self._install(set_index, tag, dirty)
 
     def invalidate(self, address: int) -> bool:
         """Drop the line holding ``address`` if resident; returns whether it
         was dirty."""
         set_index, tag = self._index_tag(address)
-        for way_index, way in enumerate(self._sets[set_index]):
-            if way.valid and way.tag == tag:
-                dirty = way.dirty
-                way.valid = False
-                way.dirty = False
-                way.tag = -1
-                self._policies[set_index].reset(way_index)
-                return dirty
-        return False
+        way_index = self._maps[set_index].pop(tag, None)
+        if way_index is None:
+            return False
+        way = self._sets[set_index][way_index]
+        dirty = way.dirty
+        way.valid = False
+        way.dirty = False
+        way.tag = -1
+        self._policies[set_index].reset(way_index)
+        return dirty
 
     # ------------------------------------------------------------------
     # reporting
@@ -170,7 +172,7 @@ class SetAssociativeCache:
         return self.hits / self.accesses if self.accesses else 0.0
 
     def resident_lines(self) -> int:
-        return sum(1 for s in self._sets for w in s if w.valid)
+        return sum(len(m) for m in self._maps)
 
     def aligned(self, address: int) -> int:
         return align_down(address, self.line_size)

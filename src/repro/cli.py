@@ -10,6 +10,13 @@ Subcommands:
       python -m repro sweep --designs HYBRID2 DFC --workloads mcf lbm \
           --workers 4 --out results.json
 
+* ``bench`` — measure engine throughput (refs/sec) against the preserved
+  seed engine and write/update ``BENCH_engine.json``; optionally gate on a
+  stored baseline::
+
+      python -m repro bench --out BENCH_engine.json \
+          --baseline benchmarks/results/BENCH_engine_baseline.json
+
 * ``designs`` — list the design registry (paper labels).
 * ``workloads`` — list the Table 2 workload catalog.
 * ``store`` — inspect or clear the result store.
@@ -131,6 +138,74 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_bench_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("bench",
+                       help="measure engine refs/sec (perf trajectory)")
+    p.add_argument("--refs", type=int, default=60_000,
+                   help="references per measurement (default 60000)")
+    p.add_argument("--workload", default="mcf",
+                   help="catalog workload to drive (default mcf)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="repetitions, best-of (default 3)")
+    which = p.add_mutually_exclusive_group()
+    which.add_argument("--designs", nargs="+", default=None,
+                       help="design labels for the per-design trajectory "
+                            "(default: all registry designs)")
+    which.add_argument("--no-designs", action="store_true",
+                       help="skip the per-design measurements")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the benchmark report JSON here")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="compare speedup ratios against this stored report "
+                        "and fail on regression")
+    p.add_argument("--max-regression", type=float, default=0.30,
+                   help="allowed fractional speedup regression vs the "
+                        "baseline (default 0.30)")
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .sim import perfbench
+
+    designs = [] if args.no_designs else args.designs
+    if designs:
+        # Fail fast (and with the valid choices) before minutes of
+        # measurement, not on the first per-design lookup afterwards.
+        unknown = [d for d in designs if d.upper() not in DESIGN_FACTORIES]
+        if unknown:
+            raise KeyError(f"unknown designs {unknown}; known: "
+                           f"{sorted(DESIGN_FACTORIES)}")
+    get_workload(args.workload)        # same: fail fast on a typo
+    payload = perfbench.run_benchmark(refs=args.refs, workload=args.workload,
+                                      repeat=args.repeat, designs=designs)
+    print(perfbench.render_report(payload))
+    if args.out:
+        perfbench.write_report(payload, args.out)
+        print(f"wrote {args.out}")
+    if args.baseline:
+        baseline = perfbench.load_report(args.baseline)
+        # The gated speedup ratio is interpreter-sensitive (numpy-bound
+        # optimized path vs pure-Python seed path), so flag runtime skew
+        # between this run and the stored baseline before judging it.
+        skew = {key: (value, payload["environment"].get(key))
+                for key, value in baseline.get("environment", {}).items()
+                if payload["environment"].get(key) != value}
+        if skew:
+            rendered = ", ".join(f"{key} {ours} vs baseline {theirs}"
+                                 for key, (theirs, ours) in skew.items())
+            print(f"note: runtime differs from baseline ({rendered}); "
+                  f"regenerate the baseline on this runtime if the gate "
+                  f"misfires", file=sys.stderr)
+        failures = perfbench.compare_to_baseline(
+            payload, baseline, max_regression=args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no perf regression vs {args.baseline} "
+              f"(>{args.max_regression:.0%} gate)")
+    return 0
+
+
 def _cmd_designs(_args: argparse.Namespace) -> int:
     for name in DESIGN_FACTORIES:
         marker = "*" if name in EVALUATED_DESIGNS else " "
@@ -164,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Hybrid2 reproduction: parallel design-space sweeps")
     sub = parser.add_subparsers(dest="command", required=True)
     _add_sweep_parser(sub)
+    _add_bench_parser(sub)
     sub.add_parser("designs", help="list the design registry")
     p_workloads = sub.add_parser("workloads",
                                  help="list the Table 2 workload catalog")
@@ -179,6 +255,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
         "designs": _cmd_designs,
         "workloads": _cmd_workloads,
         "store": _cmd_store,

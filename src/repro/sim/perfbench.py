@@ -1,0 +1,206 @@
+"""Engine performance benchmark: refs/sec of the simulation fast path.
+
+The paper's design-space sweeps are throughput-bound on
+:func:`~repro.sim.simulator.simulate`; this module measures that throughput
+and tracks it over time in ``BENCH_engine.json`` so perf regressions are
+caught like correctness regressions.  Three numbers are measured:
+
+* **fast path** — ``simulate()`` end to end (trace generation + columnar
+  driver + interval-core model) against a fixed-latency
+  :class:`NullMemorySystem`, isolating the engine from any one design's
+  model cost.  The same measurement through the preserved seed engine
+  (:mod:`repro.sim.legacy`) yields the tracked ``speedup`` ratio, which is
+  machine-independent (both engines run on the same interpreter in the same
+  process) and is what the CI regression gate compares.
+* **generator** — :func:`~repro.workloads.synthetic.generate_trace` alone,
+  vectorized vs the seed per-record loop.
+* **designs** — end-to-end refs/sec of each catalog design on a
+  representative workload with the current engine (the raw trajectory;
+  machine-dependent, reported but not gated).
+
+Run it with ``python -m repro bench`` (see the CLI) or via
+``benchmarks/bench_perf_engine.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines import DESIGN_FACTORIES
+from ..baselines.base import MemorySystem
+from ..common import AccessOutcome
+from ..params import SystemConfig, make_config
+from ..workloads.catalog import get_workload
+from . import legacy
+from .simulator import simulate
+from ..workloads import synthetic
+
+#: Bump when the report layout changes.
+BENCH_SCHEMA = 1
+
+#: Default location of the tracked report, relative to the working dir.
+DEFAULT_REPORT = "BENCH_engine.json"
+
+
+class NullMemorySystem(MemorySystem):
+    """Fixed-latency memory system that isolates the engine.
+
+    Every access is served from "near memory" after ``latency_ns``; the one
+    :class:`AccessOutcome` is reused because the driver only reads it.  With
+    the memory model reduced to a constant, ``simulate()`` spends its time
+    in trace generation, scheduling and the interval-core arithmetic — the
+    fast path this benchmark tracks.
+    """
+
+    name = "NULL"
+
+    def __init__(self, config: SystemConfig, latency_ns: float = 80.0) -> None:
+        super().__init__(config)
+        self._fixed_outcome = AccessOutcome(latency_ns=latency_ns,
+                                            served_from_nm=True)
+
+    def access(self, address: int, is_write: bool, now_ns: float) -> AccessOutcome:
+        self._record_request(is_write, True)
+        return self._fixed_outcome
+
+    @property
+    def flat_capacity_bytes(self) -> int:
+        return (self.config.near.capacity_bytes
+                + self.config.far.capacity_bytes)
+
+
+def _rate(fn: Callable[[], object], units: int, repeat: int) -> float:
+    """Best-of-``repeat`` throughput of ``fn`` in ``units`` per second."""
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return units / best if best > 0 else float("inf")
+
+
+def measure_fast_path(config: SystemConfig, workload: str, refs: int,
+                      repeat: int) -> Dict[str, float]:
+    """refs/sec of ``simulate()`` on the null system: optimized vs seed."""
+    spec = get_workload(workload)
+    new_rate = _rate(lambda: simulate(NullMemorySystem(config), spec,
+                                      num_references=refs, seed=1),
+                     refs, repeat)
+    seed_rate = _rate(lambda: legacy.simulate_reference(
+        NullMemorySystem(config), spec, num_references=refs, seed=1),
+        refs, repeat)
+    return {"refs_per_sec": new_rate, "seed_refs_per_sec": seed_rate,
+            "speedup": new_rate / seed_rate}
+
+
+def measure_generator(workload: str, refs: int,
+                      repeat: int) -> Dict[str, float]:
+    """records/sec of trace generation: vectorized vs seed loop."""
+    spec = get_workload(workload)
+    new_rate = _rate(lambda: synthetic.generate_trace(spec, refs, seed=1),
+                     refs, repeat)
+    seed_rate = _rate(lambda: legacy.generate_trace_reference(
+        spec, refs, seed=1), refs, repeat)
+    return {"records_per_sec": new_rate, "seed_records_per_sec": seed_rate,
+            "speedup": new_rate / seed_rate}
+
+
+def measure_designs(config: SystemConfig, designs: Sequence[str],
+                    workload: str, refs: int,
+                    repeat: int) -> Dict[str, float]:
+    """End-to-end refs/sec per design with the current engine."""
+    spec = get_workload(workload)
+    rates = {}
+    for label in designs:
+        factory = DESIGN_FACTORIES[label.upper()]
+        rates[label.upper()] = _rate(
+            lambda factory=factory: simulate(factory(config), spec,
+                                             num_references=refs, seed=1),
+            refs, repeat)
+    return rates
+
+
+def run_benchmark(*, refs: int = 60_000, workload: str = "mcf",
+                  repeat: int = 3,
+                  designs: Optional[Sequence[str]] = None,
+                  config: Optional[SystemConfig] = None) -> dict:
+    """Measure everything and return the ``BENCH_engine.json`` payload."""
+    config = config or make_config(nm_gb=1, fm_gb=16, scale=256)
+    if designs is None:
+        designs = list(DESIGN_FACTORIES)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "refs": refs,
+        "workload": workload,
+        "repeat": repeat,
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "fast_path": measure_fast_path(config, workload, refs, repeat),
+        "generator": measure_generator(workload, refs, repeat),
+        "designs": measure_designs(config, designs, workload, refs, repeat),
+    }
+    return payload
+
+
+def render_report(payload: dict) -> str:
+    """Human-readable rendering of a benchmark payload."""
+    fast = payload["fast_path"]
+    gen = payload["generator"]
+    lines = [
+        f"engine benchmark ({payload['refs']} refs, workload "
+        f"{payload['workload']}, best of {payload['repeat']})",
+        f"  fast path  {fast['refs_per_sec']:>12,.0f} refs/s   "
+        f"(seed {fast['seed_refs_per_sec']:,.0f}, "
+        f"speedup {fast['speedup']:.2f}x)",
+        f"  generator  {gen['records_per_sec']:>12,.0f} recs/s   "
+        f"(seed {gen['seed_records_per_sec']:,.0f}, "
+        f"speedup {gen['speedup']:.2f}x)",
+    ]
+    for label, rate in payload["designs"].items():
+        lines.append(f"  {label:<10s} {rate:>12,.0f} refs/s")
+    return "\n".join(lines)
+
+
+def compare_to_baseline(payload: dict, baseline: dict,
+                        max_regression: float = 0.30) -> List[str]:
+    """Regression check against a stored baseline payload.
+
+    Raw refs/sec varies with the host machine, so the gate compares the
+    *speedup ratios* (optimized vs seed engine, measured in the same
+    process), which are stable across hardware.  Returns a list of failure
+    messages; empty means no regression beyond ``max_regression``.
+    """
+    failures = []
+    floor = 1.0 - max_regression
+    for section, metric in (("fast_path", "speedup"),
+                            ("generator", "speedup")):
+        base = baseline.get(section, {}).get(metric)
+        current = payload.get(section, {}).get(metric)
+        if base is None or current is None:
+            continue
+        if current < base * floor:
+            failures.append(
+                f"{section} {metric} regressed: {current:.2f}x vs baseline "
+                f"{base:.2f}x (floor {base * floor:.2f}x)")
+    return failures
+
+
+def write_report(payload: dict, path: str = DEFAULT_REPORT) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)

@@ -18,8 +18,12 @@ evaluation is computed from.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice, repeat
 from typing import Optional, Sequence, Union
+
+import numpy as np
 
 from ..baselines.base import MemorySystem
 from ..cache.hierarchy import CacheHierarchy
@@ -134,6 +138,14 @@ def simulate(system: MemorySystem,
     (DRAM caches, XTA, remap state); counters are then reset so the reported
     cycles, traffic and energy describe the measured region only — the usual
     SimPoint-style methodology.
+
+    The driver iterates trace *columns* directly with the interval-core
+    timing arithmetic inlined over locals, instead of materialising a
+    ``TraceRecord`` and paying three method calls per reference; per-core
+    state is written back into :class:`IntervalCore` objects at the end so
+    result collection (and callers inspecting cores) see the classic model.
+    Counters are bit-identical to the seed per-record driver preserved in
+    :mod:`repro.sim.legacy`, which the equivalence tests pin.
     """
     config = system.config
     cores_wanted = num_cores or config.cores.num_cores
@@ -151,42 +163,132 @@ def simulate(system: MemorySystem,
         traces = list(workload)
         name = "trace"
 
-    cores = [IntervalCore(config.cores, i) for i in range(len(traces))]
-    iterators = [iter(t) for t in traces]
-    live = list(range(len(iterators)))
-    total_records = sum(len(t) for t in traces)
+    n_cores = len(traces)
+    params = config.cores
+    cores = [IntervalCore(params, i) for i in range(n_cores)]
+    lengths = [len(t) for t in traces]
+    total_records = sum(lengths)
     warmup_records = int(total_records * max(0.0, min(0.9, warmup_fraction)))
-    processed = 0
-    references = 0
+
+    # Flatten the round-robin schedule up front.  The seed driver's order is
+    # one reference per live core per pass, cores in index order; for the
+    # common equal-length case that is a plain numpy column interleave.
+    # Columns become Python lists because native ints/bools iterate several
+    # times faster than numpy scalars in a Python loop.
+    if n_cores and lengths.count(lengths[0]) == n_cores:
+        per_core = lengths[0]
+        if n_cores == 1:
+            trace = traces[0]
+            stream = zip(repeat(0, per_core), trace.gaps.tolist(),
+                         trace.addresses.tolist(), trace.is_write.tolist())
+        else:
+            stream = zip(
+                list(range(n_cores)) * per_core,
+                np.stack([t.gaps for t in traces], axis=1).ravel().tolist(),
+                np.stack([t.addresses for t in traces],
+                         axis=1).ravel().tolist(),
+                np.stack([t.is_write for t in traces],
+                         axis=1).ravel().tolist())
+    else:
+        gap_cols = [t.gaps.tolist() for t in traces]
+        addr_cols = [t.addresses.tolist() for t in traces]
+        write_cols = [t.is_write.tolist() for t in traces]
+        stream = iter([
+            (idx, gap_cols[idx][pos], addr_cols[idx][pos],
+             write_cols[idx][pos])
+            for pos in range(max(lengths, default=0))
+            for idx in range(n_cores) if pos < lengths[idx]])
+
+    # Per-core mutable state, shared with the IntervalCore objects where it
+    # can be (the outstanding-miss windows) and written back at the end.
+    time_cycles = [0.0] * n_cores
+    instructions = [0] * n_cores
+    memory_references = [0] * n_cores
+    llc_misses = [0] * n_cores
+    compute_cycles = [0.0] * n_cores
+    sram_cycles = [0.0] * n_cores
+    stall_cycles = [0.0] * n_cores
+    state = (time_cycles, instructions, memory_references, llc_misses,
+             compute_cycles, sram_cycles, stall_cycles,
+             [core._outstanding for core in cores])
+
+    # The first ``warmup_records`` references warm the structures, then the
+    # measured region runs with counters reset — two plain drains instead of
+    # a per-reference warmup branch.
     cycles_offset = 0.0
     instruction_offset = 0
-    measuring = warmup_records == 0
-    while live:
-        finished = []
-        for idx in live:
-            try:
-                record = next(iterators[idx])
-            except StopIteration:
-                finished.append(idx)
-                continue
-            core = cores[idx]
-            core.execute(record.gap_instructions)
-            outcome = system.access(record.address, record.is_write, core.time_ns)
-            core.memory_miss(outcome.latency_ns,
-                             sram_latency_cycles=llc_latency_cycles)
-            processed += 1
-            if measuring:
-                references += 1
-            elif processed >= warmup_records:
-                measuring = True
-                system.reset_measurement()
-                cycles_offset = max(c.time_cycles for c in cores)
-                instruction_offset = sum(c.stats.instructions for c in cores)
-        for idx in finished:
-            live.remove(idx)
+    if warmup_records:
+        _drive_columns(islice(stream, warmup_records), system, state, params,
+                       llc_latency_cycles)
+        system.reset_measurement()
+        cycles_offset = max(time_cycles)
+        instruction_offset = sum(instructions)
+    _drive_columns(stream, system, state, params, llc_latency_cycles)
+    references = total_records - warmup_records
+
+    for idx, core in enumerate(cores):
+        core.time_cycles = time_cycles[idx]
+        core.stats.instructions = instructions[idx]
+        core.stats.memory_references = memory_references[idx]
+        core.stats.llc_misses = llc_misses[idx]
+        core.stats.compute_cycles = compute_cycles[idx]
+        core.stats.sram_cycles = sram_cycles[idx]
+        core.stats.stall_cycles = stall_cycles[idx]
 
     return _collect_result(system, cores, name, references, cycles_offset,
                            instruction_offset)
+
+
+def _drive_columns(stream, system: MemorySystem, state: tuple,
+                   params, llc_cycles: float) -> None:
+    """Hot loop of :func:`simulate`: drain ``(core, gap, address, is_write)``
+    tuples through ``system`` with the interval-core timing model inlined.
+
+    All per-core state lives in the ``state`` lists (indexed by core) and
+    every constant is bound to a local before the loop.  The ``cycle_ns`` /
+    ``frequency_ghz`` multiplications are exactly the expressions
+    ``CoreParams.cycles_to_ns`` / ``ns_to_cycles`` evaluate and the update
+    order mirrors ``IntervalCore.execute`` / ``memory_miss``, so every float
+    stays bit-identical to the seed per-record driver
+    (:func:`repro.sim.legacy.simulate_reference`).
+    """
+    (time_cycles, instructions, memory_references, llc_misses,
+     compute_cycles, sram_cycles, stall_cycles, outstanding) = state
+    issue_width = params.issue_width
+    cycle_ns = params.cycle_ns
+    ghz = params.frequency_ghz
+    rob_window = params.rob_size
+    max_outstanding = params.max_outstanding_misses
+    system_access = system.access
+
+    for idx, gap, addr, is_write in stream:
+        now = time_cycles[idx]
+        if gap > 0:
+            cycles = gap / issue_width
+            now += cycles
+            instructions[idx] += gap
+            compute_cycles[idx] += cycles
+
+        outcome = system_access(addr, is_write, now * cycle_ns)
+
+        # IntervalCore.memory_miss, inlined.
+        memory_references[idx] += 1
+        instruction_now = instructions[idx] + 1
+        instructions[idx] = instruction_now
+        llc_misses[idx] += 1
+        if llc_cycles:
+            now += llc_cycles
+            sram_cycles[idx] += llc_cycles
+        latency_cycles = outcome.latency_ns * ghz
+        window = outstanding[idx]
+        while window and instruction_now - window[0] > rob_window:
+            window.popleft()
+        while len(window) >= max_outstanding:
+            window.popleft()
+        exposed = latency_cycles / (len(window) + 1)
+        window.append(instruction_now)
+        stall_cycles[idx] += exposed
+        time_cycles[idx] = now + exposed
 
 
 class Simulator:
@@ -207,19 +309,17 @@ class Simulator:
         """Interleave ``traces`` (one per core) through the full pipeline."""
         if len(traces) > len(self.cores):
             raise ValueError("more traces than cores")
-        iterators = [iter(t) for t in traces]
-        live = list(range(len(iterators)))
-        while live:
-            finished = []
-            for idx in live:
-                try:
-                    record = next(iterators[idx])
-                except StopIteration:
-                    finished.append(idx)
-                    continue
-                self._step(idx, record)
-            for idx in finished:
-                live.remove(idx)
+        # Deque rotation keeps the classic pass-based round-robin order while
+        # dropping exhausted traces in O(1) (no ``list.remove`` draining).
+        queue = deque((idx, iter(t)) for idx, t in enumerate(traces))
+        while queue:
+            idx, iterator = queue.popleft()
+            try:
+                record = next(iterator)
+            except StopIteration:
+                continue
+            self._step(idx, record)
+            queue.append((idx, iterator))
         return _collect_result(self.system, self.cores, workload_name,
                                self.references)
 

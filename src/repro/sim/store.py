@@ -14,6 +14,8 @@ unreadable or stale-format files are treated as misses and overwritten.
 
 from __future__ import annotations
 
+import functools
+import hashlib
 import json
 import os
 import tempfile
@@ -24,6 +26,35 @@ from .simulator import RunResult
 
 #: Bump when the on-disk layout of a stored result changes.
 STORE_FORMAT = 1
+
+
+def _digest_tree(root: Path) -> str:
+    """Digest of every ``*.py`` under ``root`` (paths and contents)."""
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+@functools.lru_cache(maxsize=1)
+def model_fingerprint() -> str:
+    """Digest of the simulator's own source code.
+
+    Folded into every :meth:`~repro.sim.sweep.SweepJob.cache_key`, so cached
+    cells auto-invalidate whenever the model changes — editing any module of
+    the ``repro`` package simply makes every old key unreachable (stale
+    files linger until ``python -m repro store --clear`` but are never
+    served).  The whole package is hashed rather than a curated module list:
+    a few spurious invalidations (e.g. a CLI-only edit) are far cheaper than
+    one stale result after a model change.
+
+    Computed once per process (~1 ms); in an installed (non-editable) tree
+    the sources are just the package files, so the digest is stable across
+    machines for the same code.
+    """
+    return _digest_tree(Path(__file__).resolve().parent.parent)
 
 #: Default store location (relative to the current working directory);
 #: override with the ``REPRO_STORE`` environment variable, the CLI

@@ -179,14 +179,20 @@ class SweepJob:
     def cache_key(self) -> Optional[str]:
         """Stable hash of everything that determines this job's result.
 
-        ``None`` for inline (non-importable) designs, which cannot be
-        described stably and therefore bypass the store.
+        Covers the simulator source itself via
+        :func:`~repro.sim.store.model_fingerprint`, so results cached before
+        a model change are never served after it.  ``None`` for inline
+        (non-importable) designs, which cannot be described stably and
+        therefore bypass the store.
         """
+        from .store import model_fingerprint
+
         design = self.design.key_dict()
         if design is None:
             return None
         payload = {
             "engine": ENGINE_VERSION,
+            "model": model_fingerprint(),
             "design": design,
             "workload": self.workload.as_dict(),
             "config": asdict(self.config),

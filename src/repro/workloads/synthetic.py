@@ -22,6 +22,14 @@ lines sequentially.  Region coverage therefore directly controls how much of
 a coarse DRAM-cache line or migrated sector is ever used — the over-fetch
 trade-off of Figure 1 — while the hot-set parameters control temporal reuse
 and the MPKI controls memory intensity.
+
+Generation is fully vectorized: the region/visit/line expansion is numpy
+array arithmetic feeding :meth:`Trace.from_columns` directly, with no
+per-record Python loop or record allocation.  The record stream is
+bit-identical to the seed per-record generator (kept as
+:func:`repro.sim.legacy.generate_trace_reference` and pinned by the
+equivalence tests), because the RNG draw order is part of the trace
+definition.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ from typing import List
 import numpy as np
 
 from ..common import GIB, LINE_SIZE, align_down
-from ..cpu.trace import Trace, TraceRecord
+from ..cpu.trace import Trace
 
 
 @dataclass(frozen=True)
@@ -128,6 +136,9 @@ def generate_trace(spec: WorkloadSpec, num_references: int, *, scale: int = 256,
 
     gap_mean = spec.gap_instructions()
     # Pre-draw randomness in bulk; one entry per region visit is enough.
+    # (The draw order and sizes are part of the trace definition: they pin
+    # the RNG stream, so the vectorized expansion below reproduces the
+    # classic per-record generator bit for bit.)
     max_visits = num_references + 1
     gaps = rng.poisson(gap_mean, size=num_references)
     writes = rng.random(num_references) < spec.write_fraction
@@ -136,33 +147,29 @@ def generate_trace(spec: WorkloadSpec, num_references: int, *, scale: int = 256,
     visit_hot_index = rng.integers(0, hot_regions, size=max_visits)
     visit_offset = rng.integers(0, lines_per_region, size=max_visits)
 
-    records: List[TraceRecord] = []
-    visit = 0
-    stream_region = int(visit_region[0])
-    while len(records) < num_references:
-        if spec.streaming:
-            stream_region = (stream_region + 1) % num_regions
-            region = stream_region
-        elif visit_hot[visit % max_visits]:
-            region = (int(visit_hot_index[visit % max_visits]) * hot_stride) % num_regions
-        else:
-            region = int(visit_region[visit % max_visits])
-        start_line = int(visit_offset[visit % max_visits])
-        visit += 1
+    # Every visit touches ``lines_per_visit`` sequential lines (the last
+    # visit is truncated at ``num_references``), so the whole expansion is a
+    # repeat/tile over the visit-level draws — no per-record Python loop.
+    num_visits = -(-num_references // lines_per_visit)
+    if spec.streaming:
+        region = (int(visit_region[0]) + 1
+                  + np.arange(num_visits, dtype=np.int64)) % num_regions
+    else:
+        region = np.where(
+            visit_hot[:num_visits],
+            (visit_hot_index[:num_visits] * hot_stride) % num_regions,
+            visit_region[:num_visits])
+    start_line = visit_offset[:num_visits]
 
-        region_base = base_address + region * spec.region_bytes
-        for k in range(lines_per_visit):
-            if len(records) >= num_references:
-                break
-            i = len(records)
-            line = (start_line + k) % lines_per_region
-            records.append(TraceRecord(
-                gap_instructions=int(gaps[i]),
-                address=region_base + line * LINE_SIZE,
-                is_write=bool(writes[i]),
-                core_id=core_id,
-            ))
-    return Trace(records)
+    line_step = np.tile(np.arange(lines_per_visit, dtype=np.int64),
+                        num_visits)[:num_references]
+    line = (np.repeat(start_line, lines_per_visit)[:num_references]
+            + line_step) % lines_per_region
+    addresses = (base_address
+                 + np.repeat(region, lines_per_visit)[:num_references]
+                 * spec.region_bytes
+                 + line * LINE_SIZE)
+    return Trace.from_columns(gaps, addresses, writes, core_id=core_id)
 
 
 def generate_multiprogrammed(spec: WorkloadSpec, num_references_per_core: int, *,
@@ -202,9 +209,10 @@ def generate_multiprogrammed(spec: WorkloadSpec, num_references_per_core: int, *
 def stream_pattern(num_references: int, *, stride: int = LINE_SIZE,
                    start: int = 0) -> Trace:
     """Pure streaming pattern (useful in unit tests and examples)."""
-    return Trace(TraceRecord(gap_instructions=10, address=start + i * stride,
-                             is_write=False)
-                 for i in range(num_references))
+    addresses = start + np.arange(num_references, dtype=np.int64) * stride
+    return Trace.from_columns(np.full(num_references, 10, dtype=np.int64),
+                              addresses,
+                              np.zeros(num_references, dtype=bool))
 
 
 def random_pattern(num_references: int, footprint_bytes: int, *, seed: int = 0,
@@ -214,6 +222,5 @@ def random_pattern(num_references: int, footprint_bytes: int, *, seed: int = 0,
     lines = rng.integers(0, max(1, footprint_bytes // LINE_SIZE),
                          size=num_references)
     writes = rng.random(num_references) < write_fraction
-    return Trace(TraceRecord(gap_instructions=20, address=int(line) * LINE_SIZE,
-                             is_write=bool(w))
-                 for line, w in zip(lines, writes))
+    return Trace.from_columns(np.full(num_references, 20, dtype=np.int64),
+                              lines * LINE_SIZE, writes)

@@ -1,0 +1,103 @@
+"""Golden-metrics equivalence: the columnar engine vs the preserved seed
+engine.
+
+The columnar-engine refactor (vectorized generation + inlined driver loop)
+promises *bit-identical* ``RunResult`` counters.  These tests pin that
+promise against :mod:`repro.sim.legacy` for every design in the sweep
+catalog, plus the generator and scheduler edge cases.
+"""
+
+import pytest
+
+from repro.baselines import DESIGN_FACTORIES
+from repro.params import make_config
+from repro.sim import legacy
+from repro.sim.simulator import simulate
+from repro.workloads.catalog import WORKLOADS, get_workload
+from repro.workloads.synthetic import (WorkloadSpec, generate_multiprogrammed,
+                                       generate_trace, stream_pattern)
+
+CONFIG = make_config(nm_gb=1, fm_gb=16, scale=256)
+REFS = 2500
+#: One high-MPKI SPEC (multi-programmed, split footprint) and one NAS
+#: (multi-threaded, shared footprint) workload.
+GOLDEN_WORKLOADS = ("mcf", "cg.D")
+
+
+def assert_identical(result, reference):
+    left, right = result.as_dict(), reference.as_dict()
+    for key in right:
+        assert left[key] == right[key], (
+            f"counter {key!r} diverged: {left[key]!r} != {right[key]!r}")
+
+
+# ---------------------------------------------------------------------------
+# generator equivalence
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", [w.name for w in WORKLOADS[:6]])
+def test_generate_trace_matches_seed_generator(name):
+    spec = get_workload(name)
+    new = generate_trace(spec, 700, seed=5, core_id=3, base_address=1 << 22)
+    ref = legacy.generate_trace_reference(spec, 700, seed=5, core_id=3,
+                                          base_address=1 << 22)
+    assert list(new) == list(ref)
+
+
+def test_generate_trace_matches_seed_generator_streaming():
+    spec = WorkloadSpec(name="stream", suite="SPEC", mpki_class="high",
+                        mpki=30.0, footprint_gb=4.0, streaming=True)
+    assert list(generate_trace(spec, 600, seed=2)) == \
+        list(legacy.generate_trace_reference(spec, 600, seed=2))
+
+
+def test_generate_multiprogrammed_matches_seed_generator():
+    spec = get_workload("mcf")
+    news = generate_multiprogrammed(spec, 200, num_cores=4, seed=3)
+    refs = legacy.generate_multiprogrammed_reference(spec, 200, num_cores=4,
+                                                     seed=3)
+    assert [list(t) for t in news] == [list(t) for t in refs]
+
+
+# ---------------------------------------------------------------------------
+# full-engine equivalence, every design in the sweep catalog
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workload", GOLDEN_WORKLOADS)
+@pytest.mark.parametrize("design", sorted(DESIGN_FACTORIES))
+def test_run_result_counters_identical(design, workload):
+    spec = get_workload(workload)
+    factory = DESIGN_FACTORIES[design]
+    result = simulate(factory(CONFIG), spec, num_references=REFS, seed=2)
+    reference = legacy.simulate_reference(factory(CONFIG), spec,
+                                          num_references=REFS, seed=2)
+    assert_identical(result, reference)
+
+
+def test_equivalence_without_warmup():
+    spec = get_workload("mcf")
+    factory = DESIGN_FACTORIES["HYBRID2"]
+    result = simulate(factory(CONFIG), spec, num_references=1500, seed=1,
+                      warmup_fraction=0.0)
+    reference = legacy.simulate_reference(factory(CONFIG), spec,
+                                          num_references=1500, seed=1,
+                                          warmup_fraction=0.0)
+    assert_identical(result, reference)
+
+
+def test_equivalence_with_unequal_core_traces():
+    """The flattened scheduler must reproduce the seed pass-based
+    round-robin when cores drain at different times."""
+    traces = [stream_pattern(101, start=0),
+              stream_pattern(37, start=1 << 20),
+              stream_pattern(0)]
+    factory = DESIGN_FACTORIES["TAGLESS"]
+    result = simulate(factory(CONFIG), traces, seed=1)
+    reference = legacy.simulate_reference(factory(CONFIG), traces, seed=1)
+    assert_identical(result, reference)
+
+
+def test_equivalence_single_trace():
+    trace = generate_trace(get_workload("lbm"), 900, seed=4)
+    factory = DESIGN_FACTORIES["MPOD"]
+    assert_identical(
+        simulate(factory(CONFIG), trace, seed=1),
+        legacy.simulate_reference(factory(CONFIG), trace, seed=1))

@@ -1,0 +1,78 @@
+"""Tests for the engine performance benchmark and its CLI/regression gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.params import make_config
+from repro.sim import perfbench
+from repro.sim.simulator import simulate
+from repro.workloads.catalog import get_workload
+
+
+def test_null_memory_system_isolates_the_engine():
+    config = make_config(nm_gb=1, fm_gb=16, scale=256)
+    result = simulate(perfbench.NullMemorySystem(config, latency_ns=50.0),
+                      get_workload("mcf"), num_references=600, seed=1)
+    assert result.references == 600 - int(600 * 0.25)
+    assert result.nm_service_ratio == 1.0
+    assert result.energy_pj == 0.0
+    assert result.cycles > 0
+
+
+def test_run_benchmark_payload_shape():
+    payload = perfbench.run_benchmark(refs=300, repeat=1, designs=["BASELINE"])
+    assert payload["schema"] == perfbench.BENCH_SCHEMA
+    assert payload["fast_path"]["refs_per_sec"] > 0
+    assert payload["fast_path"]["speedup"] > 0
+    assert payload["generator"]["speedup"] > 0
+    assert set(payload["designs"]) == {"BASELINE"}
+    assert "python" in payload["environment"]
+    rendered = perfbench.render_report(payload)
+    assert "fast path" in rendered and "BASELINE" in rendered
+
+
+def test_compare_to_baseline_gates_on_speedup_ratio():
+    current = {"fast_path": {"speedup": 4.0}, "generator": {"speedup": 20.0}}
+    ok_base = {"fast_path": {"speedup": 5.0}, "generator": {"speedup": 25.0}}
+    assert perfbench.compare_to_baseline(current, ok_base,
+                                         max_regression=0.30) == []
+    bad_base = {"fast_path": {"speedup": 6.0}, "generator": {"speedup": 25.0}}
+    failures = perfbench.compare_to_baseline(current, bad_base,
+                                             max_regression=0.30)
+    assert len(failures) == 1 and "fast_path" in failures[0]
+    # Sections missing from either side are skipped, not crashed on.
+    assert perfbench.compare_to_baseline({}, ok_base) == []
+
+
+def test_bench_cli_writes_report_and_gates(tmp_path, capsys):
+    out = tmp_path / "BENCH_engine.json"
+    assert main(["bench", "--refs", "300", "--repeat", "1", "--no-designs",
+                 "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["designs"] == {}
+    assert payload["fast_path"]["refs_per_sec"] > 0
+
+    # A baseline with absurd speedups must trip the regression gate ...
+    impossible = dict(payload, fast_path=dict(payload["fast_path"],
+                                              speedup=1e9))
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(impossible))
+    assert main(["bench", "--refs", "300", "--repeat", "1", "--no-designs",
+                 "--baseline", str(baseline)]) == 1
+    assert "PERF REGRESSION" in capsys.readouterr().err
+
+    # ... while gating against this run's own numbers passes.
+    baseline.write_text(json.dumps(payload))
+    assert main(["bench", "--refs", "300", "--repeat", "1", "--no-designs",
+                 "--baseline", str(baseline)]) == 0
+
+
+@pytest.mark.slow
+def test_fast_path_speedup_is_substantial():
+    """The headline claim, at reduced scale: the columnar engine clears the
+    seed engine by a wide margin on the simulate() fast path."""
+    payload = perfbench.run_benchmark(refs=20_000, repeat=2, designs=[])
+    assert payload["fast_path"]["speedup"] >= 3.0
+    assert payload["generator"]["speedup"] >= 5.0

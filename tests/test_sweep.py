@@ -168,3 +168,42 @@ def test_workers_must_be_positive():
         ExperimentRunner(workers=0)
     with pytest.raises(ValueError):
         run_jobs([], workers=0)
+
+
+# ---------------------------------------------------------------------------
+# model fingerprint
+# ---------------------------------------------------------------------------
+def test_job_key_covers_model_fingerprint(monkeypatch):
+    """Editing simulator source must invalidate cached cells: the job hash
+    folds in the package source digest."""
+    from repro.sim import store as store_module
+
+    base = make_job().cache_key()
+    monkeypatch.setattr(store_module, "model_fingerprint",
+                        lambda: "deadbeefdeadbeef")
+    changed = make_job().cache_key()
+    assert changed != base
+    assert changed == make_job().cache_key()   # still deterministic
+
+
+def test_model_fingerprint_is_stable_and_source_sensitive(tmp_path):
+    from repro.sim.store import _digest_tree, model_fingerprint
+
+    digest = model_fingerprint()
+    assert digest == model_fingerprint()
+    assert len(digest) == 16
+    # Recomputing without the cache over the same tree agrees.
+    model_fingerprint.cache_clear()
+    assert model_fingerprint() == digest
+
+    # Content changes, renames and new files all change the digest.
+    (tmp_path / "model.py").write_text("LATENCY = 1\n")
+    original = _digest_tree(tmp_path)
+    assert _digest_tree(tmp_path) == original
+    (tmp_path / "model.py").write_text("LATENCY = 2\n")
+    edited = _digest_tree(tmp_path)
+    assert edited != original
+    (tmp_path / "model.py").rename(tmp_path / "timing.py")
+    assert _digest_tree(tmp_path) not in (original, edited)
+    (tmp_path / "extra.py").write_text("")
+    assert len({original, edited, _digest_tree(tmp_path)}) == 3

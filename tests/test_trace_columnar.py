@@ -1,0 +1,90 @@
+"""Tests for the columnar Trace store: record round-trips, cached summary
+statistics and the column-construction paths."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import Trace, TraceRecord, interleave
+from repro.workloads.catalog import get_workload
+from repro.workloads.synthetic import generate_trace, random_pattern
+
+
+RECORDS = [
+    TraceRecord(gap_instructions=9, address=0, is_write=False),
+    TraceRecord(gap_instructions=3, address=64, is_write=True, core_id=2),
+    TraceRecord(gap_instructions=0, address=128, is_write=True,
+                is_writeback=True),
+]
+
+
+def test_records_round_trip_through_columns():
+    trace = Trace(RECORDS)
+    assert list(trace) == RECORDS
+    assert trace.records == RECORDS
+    assert [trace[i] for i in range(len(trace))] == RECORDS
+
+
+def test_columns_round_trip_through_records():
+    trace = Trace(RECORDS)
+    rebuilt = Trace.from_columns(trace.gaps, trace.addresses, trace.is_write,
+                                 trace.is_writeback, trace.core_ids)
+    assert list(rebuilt) == RECORDS
+    np.testing.assert_array_equal(rebuilt.addresses, trace.addresses)
+
+
+def test_columns_are_numpy_arrays():
+    trace = generate_trace(get_workload("mcf"), 500, seed=1)
+    assert isinstance(trace.gaps, np.ndarray)
+    assert trace.gaps.dtype == np.int64
+    assert trace.addresses.dtype == np.int64
+    assert trace.is_write.dtype == bool
+    assert len(trace.gaps) == len(trace) == 500
+
+
+def test_from_columns_defaults_and_validation():
+    trace = Trace.from_columns([1, 2], [0, 64], [False, True], core_id=5)
+    assert not trace.is_writeback.any()
+    assert (trace.core_ids == 5).all()
+    with pytest.raises(ValueError):
+        Trace.from_columns([1, 2], [0], [False, True])
+    with pytest.raises(ValueError):
+        Trace.from_columns([1], [0], [False], is_writeback=[True, False])
+
+
+def test_summary_statistics_match_record_view():
+    trace = random_pattern(400, 1 << 20, seed=7)
+    records = trace.records
+    assert trace.instructions == sum(r.gap_instructions + 1 for r in records)
+    assert trace.demand_references == sum(
+        1 for r in records if not r.is_writeback)
+    demand = [r for r in records if not r.is_writeback]
+    assert trace.write_fraction == pytest.approx(
+        sum(1 for r in demand if r.is_write) / len(demand))
+    assert trace.footprint_bytes(4096) == len(
+        {r.address // 4096 for r in records}) * 4096
+
+
+def test_summary_statistics_are_cached():
+    trace = random_pattern(100, 1 << 16, seed=3)
+    assert trace.instructions is trace.instructions  # same cached int object
+    first = trace.footprint_bytes(64)
+    trace._stat_cache[("footprint", 64)] = -1          # poke the cache
+    assert trace.footprint_bytes(64) == -1 != first
+
+
+def test_empty_trace():
+    trace = Trace([])
+    assert len(trace) == 0
+    assert trace.instructions == 0
+    assert trace.mpki() == 0.0
+    assert trace.write_fraction == 0.0
+    assert trace.footprint_bytes() == 0
+
+
+def test_interleave_drops_exhausted_traces_in_order():
+    a = Trace([TraceRecord(0, 0, False), TraceRecord(0, 1, False),
+               TraceRecord(0, 2, False)])
+    b = Trace([TraceRecord(0, 100, False)])
+    c = Trace([])
+    merged = [r.address for r in interleave([a, b, c])]
+    assert merged == [0, 100, 1, 2]
