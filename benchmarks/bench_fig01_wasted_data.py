@@ -1,43 +1,20 @@
 """Figure 1 — fraction of data fetched into a DRAM cache but never used,
 as a function of the cache-line size (64 B to 4 KB).
 
-The paper reports the average over its benchmarks with a 1 GB DRAM cache:
-0% at 64 B rising to roughly 26% at 4 KB.  The bench sweeps an ideal DRAM
-cache over the same line sizes on the benchmark subset — one sweep-engine
-job per (line size, workload) cell, no baselines needed — and reads the
-wasted-data fraction back from the runs' counters.
+The bench definition lives in the shared registry
+(:mod:`repro.report.benches`); this file drives it under pytest-benchmark
+and enforces the spec's sanity checks (the paper's trend: 0% waste at 64 B
+rising to roughly 26% at 4 KB).
 """
 
-from repro.sim.sweep import DesignRef
-from repro.sim.tables import simple_series_table
+from repro.report import get_bench
 
 from conftest import emit, run_once
 
-LINE_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
-
-IDEAL_FACTORY = "repro.baselines.ideal_cache:IdealCache"
+BENCH = get_bench("fig01")
 
 
-def sweep(runner, workloads):
-    designs = [DesignRef.of(IDEAL_FACTORY, label=f"IDEAL-{size}",
-                            line_size=size)
-               for size in LINE_SIZES]
-    result = runner.sweep(designs, workloads, nm_gb=1, baselines=False)
-    series = {}
-    for size in LINE_SIZES:
-        fractions = [result.run_for(f"IDEAL-{size}", spec.name)
-                     .stats.get("cache.wasted_fraction")
-                     for spec in workloads]
-        series[size] = 100.0 * sum(fractions) / len(fractions)
-    return series
-
-
-def test_fig01_wasted_data_vs_line_size(benchmark, runner, bench_workloads):
-    series = run_once(benchmark, lambda: sweep(runner, bench_workloads))
-    text = simple_series_table(
-        series, "line size (B)", "wasted data (%)",
-        "Figure 1: average % of fetched data never used vs DRAM-cache line size")
-    emit("fig01_wasted_data", text)
-    # The paper's trend: waste grows monotonically (0% at 64 B, ~26% at 4 KB).
-    assert series[64] <= series[256] <= series[4096]
-    assert series[64] < 5.0
+def test_fig01_wasted_data_vs_line_size(benchmark, report_ctx):
+    result = run_once(benchmark, lambda: BENCH.run(report_ctx))
+    emit(BENCH.slug, result.render_text())
+    BENCH.check(result)

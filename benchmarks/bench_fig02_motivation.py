@@ -1,56 +1,22 @@
 """Figure 2 — motivation study: min / max / geometric-mean speedup of
 migration designs and DRAM caches with 1 GB of 3D-stacked DRAM.
 
-The paper compares MemPod, Chameleon, LGM and the Tagless cache against a
-DFC and an idealised cache swept over cache-line sizes; caches reach higher
-peaks but their minima collapse for large lines (over-fetch), while
-migration schemes avoid that risk.  Every design is a picklable
-:class:`DesignRef`, so the whole study fans out through the sweep engine.
+The bench definition lives in the shared registry
+(:mod:`repro.report.benches`): MemPod, Chameleon, LGM and the Tagless
+cache against DFC and an idealised cache swept over cache-line sizes.
+The spec's check asserts the paper's over-fetch collapse: large-line
+caches reach higher peaks but their minima fall below the migration
+schemes'.
 """
 
-from repro.sim import metrics
-from repro.sim.sweep import DesignRef
-from repro.sim.tables import min_max_geomean_table
+from repro.report import get_bench
 
 from conftest import emit, run_once
 
-#: Reduced line-size sweep (the paper uses 128..4096 for DFC, 64..4096 for
-#: the ideal cache); the extremes and the paper's best points are kept.
-DFC_LINE_SIZES = (256, 1024, 4096)
-IDEAL_LINE_SIZES = (64, 256, 4096)
-
-DFC_FACTORY = "repro.baselines.dfc:DecoupledFusedCache"
-IDEAL_FACTORY = "repro.baselines.ideal_cache:IdealCache"
+BENCH = get_bench("fig02")
 
 
-def build_designs():
-    designs = [DesignRef.of(name) for name in ("MPOD", "CHA", "LGM",
-                                               "TAGLESS")]
-    designs.extend(DesignRef.of(DFC_FACTORY, label=f"DFC-{size}",
-                                line_size=size)
-                   for size in DFC_LINE_SIZES)
-    designs.extend(DesignRef.of(IDEAL_FACTORY, label=f"IDEAL-{size}",
-                                line_size=size)
-                   for size in IDEAL_LINE_SIZES)
-    return designs
-
-
-def sweep(runner, workloads):
-    designs = build_designs()
-    sweep_result = runner.sweep(designs, workloads, nm_gb=1)
-    summary = {}
-    for design in designs:
-        speedups = sweep_result.speedups(design.label)
-        summary[design.label] = metrics.min_max_geomean(list(speedups.values()))
-    return summary
-
-
-def test_fig02_motivation_min_max_geomean(benchmark, runner, bench_workloads):
-    summary = run_once(benchmark, lambda: sweep(runner, bench_workloads))
-    text = min_max_geomean_table(
-        summary, "Figure 2: min/max/geomean speedup over the no-NM baseline "
-                 "(1 GB NM)")
-    emit("fig02_motivation", text)
-    # Large-line caches must show the over-fetch collapse in their minima.
-    assert summary["IDEAL-4096"]["min"] < summary["MPOD"]["min"] + 0.5
-    assert summary["IDEAL-256"]["geomean"] > 0
+def test_fig02_motivation_min_max_geomean(benchmark, report_ctx):
+    result = run_once(benchmark, lambda: BENCH.run(report_ctx))
+    emit(BENCH.slug, result.render_text())
+    BENCH.check(result)

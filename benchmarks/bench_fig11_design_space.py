@@ -1,47 +1,22 @@
 """Figure 11 — Hybrid2 design-space exploration.
 
-The paper sweeps the DRAM-cache size (64/128 MB), the sector size (2/4 KB)
-and the DRAM-cache line size (64..512 B) under a 512 KB XTA budget and finds
-the best configuration at 64 MB / 2 KB sectors / 256 B lines.  The bench
-sweeps the same (scaled) configurations — each point is one engine sweep
-with its own :class:`~repro.params.SystemConfig`, so the result store keys
-the points apart — and reports the geometric-mean speedup of each.
+The bench definition lives in the shared registry
+(:mod:`repro.report.benches`): the DRAM-cache size (64/128 MB), sector
+size (2/4 KB) and cache-line size (64..512 B) are swept under a 512 KB
+XTA budget — each point one engine sweep with its own
+:class:`~repro.params.SystemConfig`, so the result store keys the points
+apart.  The paper finds the best configuration at 64 MB / 2 KB sectors /
+256 B lines.
 """
 
-from repro.params import Hybrid2Params
-from repro.sim import metrics
-from repro.sim.tables import simple_series_table
+from repro.report import get_bench
 
 from conftest import emit, run_once
 
-#: (cache MB, sector bytes, line bytes) points of the exploration.
-CONFIG_POINTS = (
-    (64, 2048, 64),
-    (64, 2048, 256),
-    (64, 2048, 512),
-    (64, 4096, 256),
-    (128, 2048, 256),
-    (128, 4096, 512),
-)
+BENCH = get_bench("fig11")
 
 
-def sweep(runner, workloads):
-    series = {}
-    for cache_mb, sector, line in CONFIG_POINTS:
-        hybrid2 = Hybrid2Params(dram_cache_bytes=cache_mb * (1 << 20),
-                                sector_bytes=sector, cache_line_bytes=line)
-        config = runner.config_for(nm_gb=1, hybrid2=hybrid2)
-        label = f"{cache_mb}MB/{sector}B-sector/{line}B-line"
-        point = runner.sweep(["HYBRID2"], workloads, config=config)
-        series[label] = metrics.geometric_mean(
-            point.speedups("HYBRID2").values())
-    return series
-
-
-def test_fig11_design_space_exploration(benchmark, runner, bench_workloads):
-    series = run_once(benchmark, lambda: sweep(runner, bench_workloads))
-    text = simple_series_table(
-        series, "configuration", "geomean speedup",
-        "Figure 11: Hybrid2 design-space exploration (1 GB NM, scaled)")
-    emit("fig11_design_space", text)
-    assert all(value > 0 for value in series.values())
+def test_fig11_design_space_exploration(benchmark, report_ctx):
+    result = run_once(benchmark, lambda: BENCH.run(report_ctx))
+    emit(BENCH.slug, result.render_text())
+    BENCH.check(result)

@@ -1,41 +1,21 @@
-"""Figure 12 (a/b/c) — geometric-mean speedup per MPKI class for NM sizes of
-1, 2 and 4 GB (NM:FM ratios 1:16, 2:16 and 4:16).
+"""Figure 12 (a/b/c) — geometric-mean speedup per MPKI class for NM sizes
+of 1, 2 and 4 GB (NM:FM ratios 1:16, 2:16 and 4:16).
 
-The paper's headline numbers: Hybrid2 outperforms the migration schemes by
-6.4-9.1% on average and stays within 0.3-5.3% of the DRAM caches while
-exposing 5.9-24.6% more main memory.
+The bench definition lives in the shared registry
+(:mod:`repro.report.benches`); the 1 GB column reuses the session's main
+sweep.  The paper's headline numbers: Hybrid2 outperforms the migration
+schemes by 6.4-9.1% on average and stays within 0.3-5.3% of the DRAM
+caches while exposing 5.9-24.6% more main memory.
 """
 
-import pytest
-
-from repro.baselines import EVALUATED_DESIGNS
-from repro.sim.tables import class_metric_table
+from repro.report import get_bench
 
 from conftest import emit, run_once
 
-
-def sweep_for_ratio(runner, workloads, nm_gb, existing=None):
-    sweep = existing or runner.sweep_designs_by_name(list(EVALUATED_DESIGNS),
-                                                     workloads, nm_gb=nm_gb)
-    return {design: sweep.class_speedups(design)
-            for design in EVALUATED_DESIGNS}
+BENCH = get_bench("fig12")
 
 
-@pytest.mark.parametrize("nm_gb,subfigure", [(1, "a"), (2, "b"), (4, "c")])
-def test_fig12_speedup_by_mpki_class(benchmark, runner, bench_workloads,
-                                     main_sweep, nm_gb, subfigure):
-    existing = main_sweep if nm_gb == 1 else None
-    per_design = run_once(
-        benchmark, lambda: sweep_for_ratio(runner, bench_workloads, nm_gb,
-                                           existing))
-    text = class_metric_table(
-        per_design,
-        f"Figure 12{subfigure}: geomean speedup over baseline, {nm_gb} GB NM "
-        f"({nm_gb}:16 ratio)", "speedup")
-    emit(f"fig12{subfigure}_speedup_{nm_gb}gb", text)
-    hybrid = per_design["HYBRID2"]
-    assert hybrid.get("all", 0) > 0
-    # Hybrid2's high-MPKI speedup must exceed its low-MPKI speedup (there is
-    # little room for improvement when the memory system is barely used).
-    if "high" in hybrid and "low" in hybrid:
-        assert hybrid["high"] >= hybrid["low"]
+def test_fig12_speedup_by_mpki_class(benchmark, report_ctx):
+    result = run_once(benchmark, lambda: BENCH.run(report_ctx))
+    emit(BENCH.slug, result.render_text())
+    BENCH.check(result)

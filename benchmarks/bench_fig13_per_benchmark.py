@@ -1,31 +1,22 @@
 """Figure 13 — per-benchmark speedup over the no-NM baseline at the 1:16
 NM:FM ratio, for every evaluated design.
 
-The paper's qualitative landmarks: Hybrid2 is consistently strong for the
-high-MPKI/big-footprint workloads, the Tagless cache collapses on workloads
-with poor spatial locality (omnetpp, deepsjeng), and nothing helps the
-streaming dc.B much.
+The bench definition lives in the shared registry
+(:mod:`repro.report.benches`) and reads the session's main sweep.  The
+paper's qualitative landmarks: Hybrid2 is consistently strong for the
+high-MPKI/big-footprint workloads, the Tagless cache collapses on
+workloads with poor spatial locality (omnetpp, deepsjeng), and nothing
+helps the streaming dc.B much.
 """
 
-from repro.baselines import EVALUATED_DESIGNS
-from repro.sim.tables import per_workload_table
+from repro.report import get_bench
 
 from conftest import emit, run_once
 
-
-def collect(main_sweep, workloads):
-    order = [spec.name for spec in workloads]
-    per_design = {design: main_sweep.speedups(design)
-                  for design in EVALUATED_DESIGNS}
-    return per_design, order
+BENCH = get_bench("fig13")
 
 
-def test_fig13_per_benchmark_speedup(benchmark, main_sweep, bench_workloads):
-    per_design, order = run_once(benchmark,
-                                 lambda: collect(main_sweep, bench_workloads))
-    text = per_workload_table(
-        per_design, order,
-        "Figure 13: per-benchmark speedup over baseline (1 GB NM, 1:16)")
-    emit("fig13_per_benchmark", text)
-    hybrid = per_design["HYBRID2"]
-    assert all(value > 0 for value in hybrid.values())
+def test_fig13_per_benchmark_speedup(benchmark, report_ctx):
+    result = run_once(benchmark, lambda: BENCH.run(report_ctx))
+    emit(BENCH.slug, result.render_text())
+    BENCH.check(result)

@@ -1,36 +1,21 @@
 """Figure 14 — Hybrid2 performance-factor breakdown.
 
-The paper isolates the contribution of each Hybrid2 component by comparing:
-Cache-Only (the 64 MB sectored cache alone), Migr-All, Migr-None, No-Remap
-(free metadata) and the full design.  Hybrid2 should beat Cache-Only and
-both forced-migration variants, and sit within a few percent of No-Remap
-(the paper reports a 2.5% gap, i.e. metadata handling is effectively free).
-
-The variant factories are module-level functions, so the sweep engine
-promotes them to picklable design references and runs the whole breakdown
-(variants plus the shared baselines) as one fan-out.
+The bench definition lives in the shared registry
+(:mod:`repro.report.benches`): Cache-Only, Migr-All, Migr-None, No-Remap
+(free metadata) and the full design, all fanned out through the sweep
+engine as one breakdown.  The spec's check enforces that removing the
+remapping overheads can only help (the paper reports a 2.5% gap, i.e.
+metadata handling is effectively free).
 """
 
-from repro.core.variants import BREAKDOWN_VARIANTS
-from repro.sim import metrics
-from repro.sim.tables import simple_series_table
+from repro.report import get_bench
 
 from conftest import emit, run_once
 
-
-def sweep(runner, workloads):
-    result = runner.sweep(list(BREAKDOWN_VARIANTS.values()), workloads,
-                          nm_gb=1, design_names=list(BREAKDOWN_VARIANTS))
-    return {label: metrics.geometric_mean(result.speedups(label).values())
-            for label in BREAKDOWN_VARIANTS}
+BENCH = get_bench("fig14")
 
 
-def test_fig14_performance_breakdown(benchmark, runner, bench_workloads):
-    series = run_once(benchmark, lambda: sweep(runner, bench_workloads))
-    text = simple_series_table(
-        series, "variant", "geomean speedup",
-        "Figure 14: Hybrid2 performance-factor breakdown (1 GB NM)")
-    emit("fig14_breakdown", text)
-    assert series["HYBRID2"] > 0
-    # Removing the remapping overheads can only help.
-    assert series["NO-REMAP"] >= series["HYBRID2"] * 0.97
+def test_fig14_performance_breakdown(benchmark, report_ctx):
+    result = run_once(benchmark, lambda: BENCH.run(report_ctx))
+    emit(BENCH.slug, result.render_text())
+    BENCH.check(result)

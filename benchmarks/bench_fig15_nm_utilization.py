@@ -1,33 +1,20 @@
 """Figure 15 — fraction of processor requests served from near memory,
 per MPKI class and design (1 GB NM).
 
-Paper landmarks: Tagless serves ~90% of requests from NM, DFC ~85%, Hybrid2
+The bench definition lives in the shared registry
+(:mod:`repro.report.benches`) and reads the session's main sweep.  Paper
+landmarks: Tagless serves ~90% of requests from NM, DFC ~85%, Hybrid2
 ~84%, Chameleon ~69%, LGM ~54% and MemPod ~40%.
 """
 
-from repro.baselines import EVALUATED_DESIGNS
-from repro.sim import metrics
-from repro.sim.tables import class_metric_table
+from repro.report import get_bench
 
 from conftest import emit, run_once
 
-
-def collect(main_sweep):
-    per_design = {}
-    for design in EVALUATED_DESIGNS:
-        ratios = main_sweep.per_workload_metric(
-            design, lambda result, baseline: max(result.nm_service_ratio, 1e-6))
-        per_design[design] = metrics.group_by_class(ratios)
-    return per_design
+BENCH = get_bench("fig15")
 
 
-def test_fig15_requests_served_from_nm(benchmark, main_sweep):
-    per_design = run_once(benchmark, lambda: collect(main_sweep))
-    text = class_metric_table(
-        per_design, "Figure 15: fraction of requests served from NM (1 GB NM)",
-        "fraction")
-    emit("fig15_nm_utilization", text)
-    # The caches and Hybrid2 must serve clearly more requests from NM than
-    # the slow-reacting migration-only schemes (MemPod).
-    assert per_design["HYBRID2"]["all"] > per_design["MPOD"]["all"]
-    assert per_design["TAGLESS"]["all"] > per_design["MPOD"]["all"]
+def test_fig15_requests_served_from_nm(benchmark, report_ctx):
+    result = run_once(benchmark, lambda: BENCH.run(report_ctx))
+    emit(BENCH.slug, result.render_text())
+    BENCH.check(result)

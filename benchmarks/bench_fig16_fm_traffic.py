@@ -1,34 +1,21 @@
-"""Figure 16 — far-memory traffic normalised to the no-NM baseline, per MPKI
-class and design (1 GB NM).
+"""Figure 16 — far-memory traffic normalised to the no-NM baseline, per
+MPKI class and design (1 GB NM).
 
-Paper landmarks: caches incur the least FM traffic (copying is cheaper than
-swapping); Hybrid2 lands at ~0.67x the baseline on average, between LGM and
-the caches; MemPod/Chameleon are higher.
+The bench definition lives in the shared registry
+(:mod:`repro.report.benches`) and reads the session's main sweep.  Paper
+landmarks: caches incur the least FM traffic (copying is cheaper than
+swapping); Hybrid2 lands at ~0.67x the baseline on average, between LGM
+and the caches; MemPod/Chameleon are higher.
 """
 
-from repro.baselines import EVALUATED_DESIGNS
-from repro.sim import metrics
-from repro.sim.tables import class_metric_table
+from repro.report import get_bench
 
 from conftest import emit, run_once
 
-
-def collect(main_sweep):
-    per_design = {}
-    for design in EVALUATED_DESIGNS:
-        values = main_sweep.per_workload_metric(
-            design,
-            lambda result, baseline: max(
-                metrics.normalised_traffic(result, baseline, "fm"), 1e-6))
-        per_design[design] = metrics.group_by_class(values)
-    return per_design
+BENCH = get_bench("fig16")
 
 
-def test_fig16_normalised_fm_traffic(benchmark, main_sweep):
-    per_design = run_once(benchmark, lambda: collect(main_sweep))
-    text = class_metric_table(
-        per_design, "Figure 16: FM traffic normalised to baseline (1 GB NM)",
-        "normalised bytes")
-    emit("fig16_fm_traffic", text)
-    for design in EVALUATED_DESIGNS:
-        assert per_design[design]["all"] > 0
+def test_fig16_normalised_fm_traffic(benchmark, report_ctx):
+    result = run_once(benchmark, lambda: BENCH.run(report_ctx))
+    emit(BENCH.slug, result.render_text())
+    BENCH.check(result)

@@ -1,35 +1,21 @@
 """Figure 17 — near-memory traffic normalised to the baseline's memory
 traffic, per MPKI class and design (1 GB NM).
 
-Paper landmarks: designs that serve more requests from NM show more NM
-traffic; Hybrid2 is slightly above the caches because its remapping metadata
-also lives in NM (4.1% of NM traffic); MemPod and LGM show the least NM
-traffic because they serve the fewest requests from NM.
+The bench definition lives in the shared registry
+(:mod:`repro.report.benches`) and reads the session's main sweep.  Paper
+landmarks: designs that serve more requests from NM show more NM traffic;
+Hybrid2 is slightly above the caches because its remapping metadata also
+lives in NM (4.1% of NM traffic); MemPod and LGM show the least.
 """
 
-from repro.baselines import EVALUATED_DESIGNS
-from repro.sim import metrics
-from repro.sim.tables import class_metric_table
+from repro.report import get_bench
 
 from conftest import emit, run_once
 
-
-def collect(main_sweep):
-    per_design = {}
-    for design in EVALUATED_DESIGNS:
-        values = main_sweep.per_workload_metric(
-            design,
-            lambda result, baseline: max(
-                metrics.normalised_traffic(result, baseline, "nm"), 1e-6))
-        per_design[design] = metrics.group_by_class(values)
-    return per_design
+BENCH = get_bench("fig17")
 
 
-def test_fig17_normalised_nm_traffic(benchmark, main_sweep):
-    per_design = run_once(benchmark, lambda: collect(main_sweep))
-    text = class_metric_table(
-        per_design, "Figure 17: NM traffic normalised to baseline (1 GB NM)",
-        "normalised bytes")
-    emit("fig17_nm_traffic", text)
-    # Designs that serve more requests from NM move more NM bytes.
-    assert per_design["HYBRID2"]["all"] > per_design["MPOD"]["all"]
+def test_fig17_normalised_nm_traffic(benchmark, report_ctx):
+    result = run_once(benchmark, lambda: BENCH.run(report_ctx))
+    emit(BENCH.slug, result.render_text())
+    BENCH.check(result)

@@ -1,36 +1,21 @@
-"""Figure 18 — dynamic memory energy normalised to the no-NM baseline, per
-MPKI class and design (1 GB NM).
+"""Figure 18 — dynamic memory energy normalised to the no-NM baseline,
+per MPKI class and design (1 GB NM).
 
-Paper landmarks: every NM-using design consumes more dynamic energy than the
-baseline (more bytes move in total); Hybrid2 sits close to Chameleon and the
-caches (~1.7x baseline on average), MemPod and LGM lower (~1.3x), roughly
-tracking how much each design uses the near memory.
+The bench definition lives in the shared registry
+(:mod:`repro.report.benches`) and reads the session's main sweep.  Paper
+landmarks: every NM-using design consumes more dynamic energy than the
+baseline (more bytes move in total); Hybrid2 sits close to Chameleon and
+the caches (~1.7x baseline on average), MemPod and LGM lower (~1.3x).
 """
 
-from repro.baselines import EVALUATED_DESIGNS
-from repro.sim import metrics
-from repro.sim.tables import class_metric_table
+from repro.report import get_bench
 
 from conftest import emit, run_once
 
-
-def collect(main_sweep):
-    per_design = {}
-    for design in EVALUATED_DESIGNS:
-        values = main_sweep.per_workload_metric(
-            design,
-            lambda result, baseline: max(
-                metrics.normalised_energy(result, baseline), 1e-6))
-        per_design[design] = metrics.group_by_class(values)
-    return per_design
+BENCH = get_bench("fig18")
 
 
-def test_fig18_normalised_dynamic_energy(benchmark, main_sweep):
-    per_design = run_once(benchmark, lambda: collect(main_sweep))
-    text = class_metric_table(
-        per_design,
-        "Figure 18: dynamic memory energy normalised to baseline (1 GB NM)",
-        "normalised energy")
-    emit("fig18_energy", text)
-    for design in EVALUATED_DESIGNS:
-        assert per_design[design]["all"] > 0
+def test_fig18_normalised_dynamic_energy(benchmark, report_ctx):
+    result = run_once(benchmark, lambda: BENCH.run(report_ctx))
+    emit(BENCH.slug, result.render_text())
+    BENCH.check(result)

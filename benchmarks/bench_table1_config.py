@@ -1,34 +1,19 @@
 """Table 1 — system configuration.
 
-Prints the configuration actually simulated (the paper's Table 1 after
-capacity scaling), for each of the three NM sizes of the evaluation.
+The bench definition lives in the shared registry
+(:mod:`repro.report.benches`): it prints the configuration actually
+simulated (the paper's Table 1 after capacity scaling) for each of the
+three NM sizes of the evaluation.
 """
 
-from repro.params import make_config
-from repro.sim.tables import format_table
+from repro.report import get_bench
 
-from conftest import SCALE, emit, run_once
+from conftest import emit, run_once
 
-
-def build_table():
-    rows = []
-    for nm_gb in (1, 2, 4):
-        config = make_config(nm_gb=nm_gb, scale=SCALE)
-        desc = config.describe()
-        rows.append([f"{nm_gb} GB (paper)", desc["near_memory"],
-                     desc["far_memory"], desc["nm_fm_ratio"],
-                     desc["dram_cache"]])
-    header = make_config(nm_gb=1, scale=SCALE).describe()
-    preamble = (f"cores: {header['cores']}\n"
-                f"l1: {header['l1']}\nl2: {header['l2']}\nl3: {header['l3']}\n")
-    table = format_table(
-        ["NM (paper)", "near memory (scaled)", "far memory (scaled)",
-         "NM:FM", "Hybrid2 DRAM cache"],
-        rows, title="Table 1: system configuration (scaled model)")
-    return preamble + table
+BENCH = get_bench("table1")
 
 
-def test_table1_system_configuration(benchmark):
-    text = run_once(benchmark, build_table)
-    emit("table1_config", text)
-    assert "NM:FM" in text
+def test_table1_system_configuration(benchmark, report_ctx):
+    result = run_once(benchmark, lambda: BENCH.run(report_ctx))
+    emit(BENCH.slug, result.render_text())
+    BENCH.check(result)

@@ -1,39 +1,20 @@
 """Table 2 — benchmark characteristics.
 
-Regenerates the MPKI / footprint / traffic characterisation of every
-workload in the catalog from the traces the generators actually produce (the
-paper reports the same three columns for its SPEC/NAS selection).
+The bench definition lives in the shared registry
+(:mod:`repro.report.benches`): the MPKI / footprint / traffic
+characterisation of every workload in the catalog, regenerated from the
+traces the generators actually produce (the paper reports the same
+columns for its SPEC/NAS selection).
 """
 
-from repro.common import MIB
-from repro.sim.tables import format_table
-from repro.workloads import WORKLOADS, generate_trace
+from repro.report import get_bench
 
-from conftest import SCALE, emit, run_once
+from conftest import emit, run_once
 
-REFS_PER_WORKLOAD = 4000
+BENCH = get_bench("table2")
 
 
-def build_table():
-    rows = []
-    for spec in WORKLOADS:
-        trace = generate_trace(spec, REFS_PER_WORKLOAD, scale=SCALE, seed=1)
-        footprint_mb = spec.scaled_footprint_bytes(SCALE) / MIB
-        traffic_mb = REFS_PER_WORKLOAD * 64 / MIB
-        rows.append([
-            spec.name, spec.suite, spec.mpki_class,
-            round(spec.mpki, 2), round(trace.mpki(), 2),
-            round(spec.footprint_gb, 2), round(footprint_mb, 2),
-            round(traffic_mb, 2),
-        ])
-    return format_table(
-        ["benchmark", "suite", "class", "MPKI (paper)", "MPKI (trace)",
-         "footprint GB (paper)", "footprint MB (scaled)",
-         "trace traffic MB"],
-        rows, title="Table 2: benchmark characteristics")
-
-
-def test_table2_benchmark_characteristics(benchmark):
-    text = run_once(benchmark, build_table)
-    emit("table2_workloads", text)
-    assert "cg.D" in text and "namd" in text
+def test_table2_benchmark_characteristics(benchmark, report_ctx):
+    result = run_once(benchmark, lambda: BENCH.run(report_ctx))
+    emit(BENCH.slug, result.render_text())
+    BENCH.check(result)

@@ -12,6 +12,10 @@ interface to the simulator:
   design exposes to software (the capacity argument of the paper);
 * :meth:`MemorySystem.collect_stats` returns the counters every figure of
   the evaluation is built from (NM/FM traffic, energy, NM service ratio).
+
+Paper anchor: the common interface behind every design compared in the
+evaluation (Section 5, Figures 12-18) and the motivation study (Section 2,
+Figures 1-2).
 """
 
 from __future__ import annotations
@@ -136,4 +140,5 @@ class MemorySystem(abc.ABC):
         """Subclasses add design-specific counters here."""
 
     def describe(self) -> str:
+        """One-line human summary: design name plus exposed capacity."""
         return f"{self.name} (flat capacity {self.flat_capacity_bytes // (1 << 20)} MB)"

@@ -11,6 +11,10 @@ on its DRAM cache for that cache mode.
 
 Group-based remapping needs only a few bits per group, so — unlike MemPod
 and LGM — no in-memory remap table traffic is charged.
+
+Paper anchor: one of the three migration baselines of the evaluation
+(Section 5, Figures 12-18); its cache mode is why it tracks the caches
+more closely than MemPod/LGM in Figure 15.
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ class ChameleonGroups(MigrationSystem):
     # access path: cache mode first, then the flat space
     # ------------------------------------------------------------------
     def access(self, address: int, is_write: bool, now_ns: float) -> AccessOutcome:
+        """Serve from the cache-mode copy if present, else the flat space."""
         address = address % self.flat_capacity_bytes
         self._maybe_end_interval(now_ns)
         segment = address // self.segment_bytes

@@ -8,6 +8,9 @@ entry has been evicted), and a small on-chip lookup latency.  The paper's
 design-space exploration found 1 KB cache lines to perform best for DFC, and
 the evaluation compares against that configuration; the line size remains a
 parameter here because Figure 2 also sweeps it.
+
+Paper anchor: the second realistic DRAM-cache baseline of the evaluation
+(Section 5, Figures 12-18) and part of the motivation sweep (Figure 2).
 """
 
 from __future__ import annotations

@@ -13,6 +13,10 @@ by the properties the motivation study (Figures 1 and 2) sweeps:
 
 Per-line "touched 64 B block" masks are maintained so the harness can report
 how much fetched data was never used (Figure 1).
+
+Paper anchor: the generic cache organisation behind the motivation study
+(Section 2, Figures 1-2) and the base of the Tagless/DFC/idealised cache
+baselines evaluated in Section 5 (Figures 12-18).
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ class DramCacheLine:
     touched_mask: int = 0          # one bit per 64 B block actually referenced
 
     def touch(self, block: int, is_write: bool) -> None:
+        """Mark one 64 B block of the line as referenced (dirty on writes)."""
         self.touched_mask |= (1 << block)
         self.dirty = self.dirty or is_write
 
@@ -101,6 +106,7 @@ class DramCacheSystem(MemorySystem):
     # access path
     # ------------------------------------------------------------------
     def access(self, address: int, is_write: bool, now_ns: float) -> AccessOutcome:
+        """Probe the DRAM cache; a miss fetches the whole line from FM."""
         address = address % self.flat_capacity_bytes
         set_index, tag, block = self._locate(address)
         cache_set = self._sets[set_index]
@@ -174,10 +180,12 @@ class DramCacheSystem(MemorySystem):
     # ------------------------------------------------------------------
     @property
     def flat_capacity_bytes(self) -> int:
+        """Far memory alone — the capacity cost of caches (Section 1)."""
         return self.config.far.capacity_bytes
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of processor requests that hit in the DRAM cache."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 

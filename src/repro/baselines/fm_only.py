@@ -3,6 +3,10 @@
 Every speedup in the evaluation is normalised to this design: all memory
 requests are served by the DDR4 far memory and the flat capacity is the far
 memory alone.
+
+Paper anchor: the "no 3D-stacked DRAM" baseline of the methodology
+(Section 5/Table 1); the denominator of every speedup and normalised
+metric in Figures 2 and 12-18.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ class FarMemoryOnly(MemorySystem):
         self._make_controllers(None, config.far)
 
     def access(self, address: int, is_write: bool, now_ns: float) -> AccessOutcome:
+        """Serve the request from far memory (the only memory there is)."""
         address = address % self.config.far.capacity_bytes
         result = self.far.access(address, is_write, now_ns, LINE_SIZE)
         return self._outcome(result.latency_ns, served_from_nm=False,

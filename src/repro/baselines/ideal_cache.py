@@ -4,6 +4,9 @@ An idealised cache with no tag-lookup overhead at all: tags are assumed to
 be known instantly and for free.  The line size is a parameter, because the
 motivation figure sweeps it from 64 B to 4 KB to expose the
 prefetching-versus-over-fetching trade-off.
+
+Paper anchor: the IDEAL upper bound of the motivation study (Section 2,
+Figures 1-2); not part of the Section 5 design comparison.
 """
 
 from __future__ import annotations

@@ -11,6 +11,10 @@ The pod decomposition matters for hardware cost, not for the first-order
 behaviour studied here, so the model uses a single pod whose MEA capacity is
 ``mea_counters`` (the sensitivity to that parameter is preserved and
 exercised by the ablation bench).
+
+Paper anchor: one of the three migration baselines of the evaluation
+(Section 5, Figures 12-18); the slowest-reacting scheme, visible as the
+lowest NM service ratio in Figure 15.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ class MeaCounters:
         self.counters: Dict[int, int] = {}
 
     def observe(self, segment: int) -> None:
+        """Feed one far-memory segment visit into the MEA summary."""
         if segment in self.counters:
             self.counters[segment] += 1
         elif len(self.counters) < self.capacity:
@@ -42,9 +47,11 @@ class MeaCounters:
                     del self.counters[key]
 
     def tracked(self) -> Dict[int, int]:
+        """Snapshot of the currently tracked segments and their counts."""
         return dict(self.counters)
 
     def clear(self) -> None:
+        """Reset the summary at an interval boundary."""
         self.counters.clear()
 
 

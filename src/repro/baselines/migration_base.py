@@ -14,6 +14,11 @@ share:
 Subclasses implement :meth:`MigrationSystem._note_access` (how accesses feed
 the selection policy) and :meth:`MigrationSystem._interval_end` (which
 segments to migrate when an interval expires).
+
+Paper anchor: the shared mechanics of the migration class the paper
+contrasts with caches throughout — swap cost (Section 2), equalised
+translation budgets (Section 5 methodology), and the flat capacity
+advantage (Figures 12-13).
 """
 
 from __future__ import annotations
@@ -65,6 +70,7 @@ class RemapCache:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of translations resolved without touching memory."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -99,9 +105,11 @@ class MigrationSystem(MemorySystem):
     # ------------------------------------------------------------------
     @property
     def flat_capacity_bytes(self) -> int:
+        """NM + FM — migration exposes both as main memory (Figure 12)."""
         return self.num_segments * self.segment_bytes
 
     def access(self, address: int, is_write: bool, now_ns: float) -> AccessOutcome:
+        """Translate through the remap table, then serve from NM or FM."""
         address = address % self.flat_capacity_bytes
         self._maybe_end_interval(now_ns)
         segment = address // self.segment_bytes

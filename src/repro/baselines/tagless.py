@@ -6,6 +6,10 @@ TLBs, so there is no tag array to look up at all; the price is a page-sized
 workloads with poor spatial locality (the paper singles out ``omnetpp`` and
 ``deepsjeng``).  Following the paper's methodology, no operating-system
 overheads are modelled, which is optimistic for this design.
+
+Paper anchor: one of the two realistic DRAM-cache baselines of the
+evaluation (Section 5, Figures 12-18); its NM service ratio tops
+Figure 15 while its capacity cost motivates Hybrid2 (Section 1).
 """
 
 from __future__ import annotations

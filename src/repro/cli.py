@@ -17,6 +17,17 @@ Subcommands:
       python -m repro bench --out BENCH_engine.json \
           --baseline benchmarks/results/BENCH_engine_baseline.json
 
+* ``report`` — regenerate the paper-artifact gallery: run any subset of
+  the 13 registered benches and render ``EXPERIMENTS.md`` plus per-bench
+  JSON/markdown/SVG artifacts, with measured-vs-published deviation
+  flags::
+
+      python -m repro report                         # all 13 benches
+      python -m repro report --bench fig12 fig15 --workers 4
+      python -m repro report --list                  # show the registry
+
+* ``apidoc`` — (re)generate ``docs/api.md`` from the ``repro.baselines``
+  docstrings; ``--check`` fails when the page drifted from the code.
 * ``designs`` — list the design registry (paper labels).
 * ``workloads`` — list the Table 2 workload catalog.
 * ``store`` — inspect or clear the result store.
@@ -206,6 +217,95 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_report_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("report",
+                       help="regenerate the paper-artifact gallery "
+                            "(EXPERIMENTS.md + per-bench artifacts)")
+    p.add_argument("--bench", nargs="+", default=None, metavar="NAME",
+                   help="bench names to (re)run (default: all 13); the "
+                        "gallery keeps benches whose artifacts already "
+                        "exist")
+    p.add_argument("--list", action="store_true",
+                   help="list the bench registry and exit")
+    p.add_argument("--refs", type=int, default=None,
+                   help="references per run (default REPRO_BENCH_REFS or "
+                        "16000)")
+    p.add_argument("--per-class", type=int, default=None,
+                   help="workloads per MPKI class (default "
+                        "REPRO_BENCH_WORKLOADS_PER_CLASS or 2)")
+    p.add_argument("--scale", type=int, default=None,
+                   help="capacity scale denominator (default 256)")
+    p.add_argument("--seed", type=int, default=None, help="trace seed")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default REPRO_BENCH_WORKERS or "
+                        "one per CPU, max 8)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="result-store directory (default REPRO_BENCH_STORE "
+                        "or benchmarks/results/store)")
+    p.add_argument("--no-store", action="store_true",
+                   help="disable the persistent result store")
+    p.add_argument("--out-dir", default=None, metavar="DIR",
+                   help="artifact directory (default artifacts/)")
+    p.add_argument("--gallery", default=None, metavar="FILE",
+                   help="gallery path (default EXPERIMENTS.md)")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import (DEFAULT_GALLERY, DEFAULT_OUT_DIR, ReportSettings,
+                         all_benches, generate_report)
+
+    if args.list:
+        for spec in all_benches():
+            print(f"{spec.name:8s} {spec.paper_ref:40s} {spec.title}")
+        return 0
+    settings = ReportSettings.from_env(
+        refs=args.refs, per_class=args.per_class, scale=args.scale,
+        seed=args.seed, workers=args.workers, store=args.store)
+    if args.no_store:
+        settings.store = None
+    summary = generate_report(
+        args.bench, settings=settings,
+        out_dir=args.out_dir or DEFAULT_OUT_DIR,
+        gallery=args.gallery or DEFAULT_GALLERY, log=print)
+    for bench, status in summary["benches"].items():
+        print(f"  {bench:8s} {status}")
+    jobs = summary["jobs"]
+    print(f"jobs: {jobs['total']} total, {jobs['simulated']} simulated, "
+          f"{jobs['cached']} from store")
+    print(f"wrote {summary['gallery']} and {len(summary['benches'])} "
+          f"artifact(s) under {summary['out_dir']} "
+          f"({summary['flagged']} deviation(s) beyond tolerance)")
+    for bench, error in summary["check_failures"].items():
+        print(f"SANITY CHECK FAILED [{bench}]: {error}", file=sys.stderr)
+    return 1 if summary["check_failures"] else 0
+
+
+def _add_apidoc_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("apidoc",
+                       help="generate docs/api.md from the baselines "
+                            "docstrings")
+    p.add_argument("--out", default="docs/api.md", metavar="FILE",
+                   help="output path (default docs/api.md)")
+    p.add_argument("--check", action="store_true",
+                   help="verify the file matches the docstrings instead "
+                        "of writing it")
+
+
+def _cmd_apidoc(args: argparse.Namespace) -> int:
+    from .report import apidoc
+
+    if args.check:
+        if apidoc.check_api_doc(args.out):
+            print(f"{args.out} is up to date")
+            return 0
+        print(f"{args.out} is stale; regenerate with "
+              f"`python -m repro apidoc --out {args.out}`", file=sys.stderr)
+        return 1
+    apidoc.write_api_doc(args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_designs(_args: argparse.Namespace) -> int:
     for name in DESIGN_FACTORIES:
         marker = "*" if name in EVALUATED_DESIGNS else " "
@@ -240,6 +340,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_sweep_parser(sub)
     _add_bench_parser(sub)
+    _add_report_parser(sub)
+    _add_apidoc_parser(sub)
     sub.add_parser("designs", help="list the design registry")
     p_workloads = sub.add_parser("workloads",
                                  help="list the Table 2 workload catalog")
@@ -256,6 +358,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
+        "report": _cmd_report,
+        "apidoc": _cmd_apidoc,
         "designs": _cmd_designs,
         "workloads": _cmd_workloads,
         "store": _cmd_store,

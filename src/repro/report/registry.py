@@ -1,0 +1,213 @@
+"""Benchmark registry: one :class:`BenchSpec` per paper table/figure.
+
+The registry is the single source of truth for the repo's evaluation
+artifacts.  Each spec bundles
+
+* **identity** — a short name (``fig12``), the artifact slug, the paper
+  reference and a human title;
+* **how to run it** — a function from a :class:`ReportContext` (runner +
+  workload subset + shared main sweep) to a :class:`BenchResult`;
+* **what the paper published** — :class:`Expectation` records with the
+  published value and a tolerance, so a measured run can be placed
+  side-by-side with the paper's numbers and flagged when it deviates;
+* **sanity checks** — the qualitative assertions the pytest benches
+  enforce (orderings and bounds that must hold at any scale).
+
+Both consumers — the pytest benches under ``benchmarks/`` and the
+``python -m repro report`` pipeline — read the same specs, so the paper's
+evaluation is regenerated identically no matter how it is driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
+
+from ..sim import tables
+
+
+def lookup(raw: Mapping[str, Any], path: Sequence[str]) -> Any:
+    """Walk ``path`` into the nested ``raw`` dict; raises ``KeyError``."""
+    value: Any = raw
+    for key in path:
+        if not isinstance(value, Mapping) or key not in value:
+            raise KeyError(f"path {tuple(path)!r} missing at {key!r}")
+        value = value[key]
+    return value
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One published number (or label) the measured run is compared against.
+
+    ``path`` addresses a scalar inside :attr:`BenchResult.raw`.  A numeric
+    expectation is *within tolerance* when the absolute deviation is at most
+    ``abs_tol`` or the relative deviation at most ``rel_tol`` (whichever is
+    provided); a string expectation must match exactly.  An expectation with
+    no tolerance is informational — shown side-by-side, never flagged.
+    """
+
+    label: str
+    path: Tuple[str, ...]
+    published: Union[float, str]
+    unit: str = ""
+    rel_tol: Optional[float] = None
+    abs_tol: Optional[float] = None
+
+    def evaluate(self, raw: Mapping[str, Any]) -> Dict[str, Any]:
+        """Compare the measured value in ``raw`` against the published one."""
+        out: Dict[str, Any] = {
+            "label": self.label,
+            "path": list(self.path),
+            "published": self.published,
+            "unit": self.unit,
+            "measured": None,
+            "deviation": None,
+            "status": "missing",
+        }
+        try:
+            measured = lookup(raw, self.path)
+        except KeyError:
+            return out
+        out["measured"] = measured
+        if isinstance(self.published, str):
+            out["status"] = "ok" if str(measured) == self.published else "flag"
+            return out
+        measured = float(measured)
+        deviation = measured - self.published
+        out["measured"] = measured
+        out["deviation"] = deviation
+        if self.published:
+            out["deviation_pct"] = 100.0 * deviation / abs(self.published)
+        if self.abs_tol is None and self.rel_tol is None:
+            out["status"] = "info"
+            return out
+        within = False
+        if self.abs_tol is not None and abs(deviation) <= self.abs_tol:
+            within = True
+        if (self.rel_tol is not None and self.published
+                and abs(deviation / self.published) <= self.rel_tol):
+            within = True
+        out["status"] = "ok" if within else "flag"
+        return out
+
+
+@dataclass
+class Table:
+    """One rendered table of a bench, optionally charted.
+
+    ``chart`` selects the SVG form the report pipeline draws from the same
+    rows: ``"bar"``/``"line"`` read (key, value) pairs from the first two
+    columns; ``"bar-grouped"`` uses the first column as the group label and
+    every remaining column as one series.  ``None`` cells render as ``-``
+    in text and are skipped in charts.
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[List[Any]]
+    slug: str = ""
+    chart: Optional[str] = None   # None | "bar" | "bar-grouped" | "line"
+    y_label: str = ""
+
+    def render_text(self) -> str:
+        return tables.format_table(self.columns, self.rows, title=self.title)
+
+    def as_dict(self) -> dict:
+        return {"title": self.title, "columns": list(self.columns),
+                "rows": [list(row) for row in self.rows], "slug": self.slug,
+                "chart": self.chart, "y_label": self.y_label}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Table":
+        return cls(title=data["title"], columns=list(data["columns"]),
+                   rows=[list(row) for row in data["rows"]],
+                   slug=data.get("slug", ""), chart=data.get("chart"),
+                   y_label=data.get("y_label", ""))
+
+
+@dataclass
+class BenchResult:
+    """Everything one bench measured: tables for humans, ``raw`` for tools.
+
+    ``raw`` is a JSON-serialisable nested dict; expectation paths address
+    scalars inside it, so keys are always strings (numeric keys like line
+    sizes are stored as their string form).
+    """
+
+    name: str
+    tables: List[Table] = field(default_factory=list)
+    raw: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def render_text(self) -> str:
+        parts = ([self.notes.rstrip()] if self.notes else [])
+        parts.extend(table.render_text() for table in self.tables)
+        return "\n\n".join(parts)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "notes": self.notes, "raw": self.raw,
+                "tables": [table.as_dict() for table in self.tables]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchResult":
+        return cls(name=data["name"], notes=data.get("notes", ""),
+                   raw=data.get("raw", {}),
+                   tables=[Table.from_dict(t) for t in data.get("tables", [])])
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered bench: a paper table/figure and how to regenerate it."""
+
+    name: str                 # registry key, e.g. "fig12"
+    slug: str                 # artifact stem, e.g. "fig12_speedup_by_ratio"
+    title: str
+    paper_ref: str            # e.g. "Figure 12, Section 5.1"
+    description: str
+    run: Callable[..., BenchResult]
+    check: Optional[Callable[[BenchResult], None]] = None
+    expectations: Tuple[Expectation, ...] = ()
+    landmarks: str = ""       # qualitative published findings, free text
+    uses_sweep: bool = True   # reads the shared 1 GB main sweep
+
+    def evaluate(self, result: BenchResult) -> List[Dict[str, Any]]:
+        """Evaluate every expectation against ``result.raw``."""
+        return [exp.evaluate(result.raw) for exp in self.expectations]
+
+
+#: Registration order is the order of the paper's evaluation — it drives
+#: the gallery layout and the default run order of the report pipeline.
+REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def register(spec: BenchSpec) -> BenchSpec:
+    if spec.name in REGISTRY:
+        raise ValueError(f"duplicate bench {spec.name!r}")
+    slugs = {existing.slug for existing in REGISTRY.values()}
+    if spec.slug in slugs:
+        raise ValueError(f"duplicate bench slug {spec.slug!r}")
+    REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_bench(name: str) -> BenchSpec:
+    """Look up a bench by registry name (e.g. ``fig12``)."""
+    _ensure_loaded()
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown bench {name!r}; known: {sorted(REGISTRY)}")
+
+
+def all_benches() -> List[BenchSpec]:
+    """All registered benches, in paper order."""
+    _ensure_loaded()
+    return list(REGISTRY.values())
+
+
+def _ensure_loaded() -> None:
+    # The definitions module populates REGISTRY on import; importing it
+    # lazily avoids registry <-> benches circular imports.
+    from . import benches  # noqa: F401

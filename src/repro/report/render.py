@@ -1,0 +1,211 @@
+"""Markdown rendering: per-bench pages and the ``EXPERIMENTS.md`` gallery.
+
+Each bench gets a standalone page under the artifact directory with its
+measured-vs-published table, an SVG chart per charted table (written next
+to the page and referenced as an image, so GitHub renders it) and the
+fixed-width text tables.  The gallery places every bench side by side with
+the paper's published numbers and flags deviations beyond tolerance.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..sim import svgchart
+from .registry import BenchResult, BenchSpec, Table
+
+#: Status markers used in pages and the gallery.
+STATUS_BADGES = {
+    "ok": "✓ within tolerance",
+    "deviates": "⚠ deviates",
+    "incomplete": "? metric missing",
+    "check-failed": "✗ sanity check failed",
+    "info": "· informational",
+}
+
+
+def _fmt_value(value: Any) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def chart_for_table(table: Table) -> Optional[str]:
+    """Render a table's chart as an SVG string (``None`` when unchartable)."""
+    if table.chart is None or not table.rows:
+        return None
+    if table.chart == "bar-grouped":
+        groups = {}
+        for row in table.rows:
+            groups[str(row[0])] = {
+                column: float(value)
+                for column, value in zip(table.columns[1:], row[1:])
+                if value is not None
+            }
+        return svgchart.grouped_bar_chart(
+            groups, title=table.title, y_label=table.y_label,
+            series_order=list(table.columns[1:]))
+    series = {str(row[0]): float(row[1]) for row in table.rows
+              if row[1] is not None}
+    if table.chart == "line":
+        return svgchart.line_chart(series, title=table.title,
+                                   y_label=table.y_label)
+    return svgchart.bar_chart(series, title=table.title,
+                              y_label=table.y_label)
+
+
+def deviation_rows(deviations: List[Dict[str, Any]]) -> List[str]:
+    """Markdown table rows for a measured-vs-published comparison."""
+    lines = ["| metric | published | measured | deviation | status |",
+             "|---|---:|---:|---:|---|"]
+    marks = {"ok": "✓", "flag": "⚠", "info": "·", "missing": "?"}
+    for dev in deviations:
+        unit = f" {dev['unit']}" if dev.get("unit") else ""
+        deviation = ""
+        if dev.get("deviation") is not None:
+            deviation = f"{dev['deviation']:+.3f}"
+            if dev.get("deviation_pct") is not None:
+                deviation += f" ({dev['deviation_pct']:+.1f}%)"
+        lines.append(
+            f"| {dev['label']} | {_fmt_value(dev['published'])}{unit} "
+            f"| {_fmt_value(dev['measured'])}{unit} | {deviation or '—'} "
+            f"| {marks.get(dev['status'], dev['status'])} |")
+    return lines
+
+
+def _settings_lines(settings: Dict[str, Any]) -> List[str]:
+    rendered = ", ".join(f"{key}={value}" for key, value in settings.items())
+    return [f"*Run settings:* {rendered}", ""]
+
+
+def render_bench_page(spec: BenchSpec, result: BenchResult,
+                      deviations: List[Dict[str, Any]],
+                      settings: Dict[str, Any],
+                      svg_files: Dict[str, str],
+                      check_error: Optional[str] = None) -> str:
+    """The standalone markdown page of one bench.
+
+    ``svg_files`` maps table slugs to the SVG file names written next to
+    the page (relative references, so the page renders on GitHub).
+    """
+    lines = [f"# {spec.title}", "",
+             f"*Paper reference:* {spec.paper_ref} · *bench:* `{spec.name}` "
+             f"· regenerate with `python -m repro report --bench "
+             f"{spec.name}`", "",
+             spec.description, ""]
+    lines.extend(_settings_lines(settings))
+    if deviations:
+        lines.extend(["## Measured vs published", ""])
+        lines.extend(deviation_rows(deviations))
+        lines.append("")
+    if spec.landmarks:
+        lines.extend(["## Paper landmarks", "", spec.landmarks, ""])
+    lines.extend(["## Results", ""])
+    if result.notes:
+        lines.extend(["```text", result.notes, "```", ""])
+    for table in result.tables:
+        lines.append(f"### {table.title}")
+        lines.append("")
+        if table.slug in svg_files:
+            lines.extend([f"![{table.title}]({svg_files[table.slug]})", ""])
+        lines.extend(["```text", table.render_text(), "```", ""])
+    lines.append("## Sanity checks")
+    lines.append("")
+    if check_error:
+        lines.append(f"**FAILED:** {check_error}")
+    elif spec.check is None:
+        lines.append("(none registered)")
+    else:
+        lines.append("passed")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_gallery(payloads: List[Dict[str, Any]], out_dir: Path,
+                   gallery_path: Path) -> str:
+    """``EXPERIMENTS.md``: every bench side-by-side with the paper.
+
+    ``payloads`` are artifact payloads (see :mod:`repro.report.artifacts`),
+    in registry order.  Image and page links are written relative to the
+    gallery file so the document renders wherever it is checked in.
+    """
+    rel = os.path.relpath(out_dir, gallery_path.parent)
+
+    def link(name: str) -> str:
+        return name if rel == "." else f"{rel}/{name}"
+
+    lines = [
+        "# Experiments — regenerated evaluation gallery",
+        "",
+        "Measured results of this reproduction, side by side with the "
+        "numbers the paper publishes.  Generated by `python -m repro "
+        "report` — do not edit by hand; re-run the command to refresh "
+        "(cached sweep cells make a second run near-instant).",
+        "",
+        "Deviation flags compare against the paper's published values "
+        "with generous tolerances: the scaled-capacity, synthetic-trace "
+        "model reproduces *trends and orderings*, not absolute figures, "
+        "so a ⚠ marks a number to read critically rather than a failure.",
+        "",
+        "## Summary",
+        "",
+        "| bench | artifact | paper reference | status | flagged |",
+        "|---|---|---|---|---|",
+    ]
+    for payload in payloads:
+        deviations = payload.get("deviations", [])
+        flagged = sum(1 for dev in deviations if dev["status"] == "flag")
+        compared = sum(1 for dev in deviations
+                       if dev["status"] in ("ok", "flag"))
+        badge = STATUS_BADGES.get(payload["status"], payload["status"])
+        lines.append(
+            f"| `{payload['bench']}` | [{payload['title']}]"
+            f"({link(payload['bench'] + '.md')}) | {payload['paper_ref']} "
+            f"| {badge} | {flagged}/{compared} |")
+    lines.append("")
+
+    flagged_rows = []
+    for payload in payloads:
+        for dev in payload.get("deviations", []):
+            if dev["status"] == "flag":
+                unit = f" {dev['unit']}" if dev.get("unit") else ""
+                flagged_rows.append(
+                    f"| `{payload['bench']}` | {dev['label']} "
+                    f"| {_fmt_value(dev['published'])}{unit} "
+                    f"| {_fmt_value(dev['measured'])}{unit} |")
+    if flagged_rows:
+        lines.extend(["## Deviations beyond tolerance", "",
+                      "| bench | metric | published | measured |",
+                      "|---|---|---:|---:|"])
+        lines.extend(flagged_rows)
+        lines.append("")
+
+    for payload in payloads:
+        result = BenchResult.from_dict(payload["result"])
+        lines.extend([f"## `{payload['bench']}` — {payload['title']}", "",
+                      f"{payload['paper_ref']} · "
+                      f"[full artifact page]({link(payload['bench'] + '.md')})"
+                      f" · [JSON]({link(payload['bench'] + '.json')})", ""])
+        first_chart = next((table for table in result.tables
+                            if table.chart is not None), None)
+        if first_chart is not None:
+            svg_name = f"{payload['bench']}.{first_chart.slug}.svg"
+            if (out_dir / svg_name).exists():
+                lines.extend(
+                    [f"![{first_chart.title}]({link(svg_name)})", ""])
+        deviations = payload.get("deviations", [])
+        if deviations:
+            lines.extend(deviation_rows(deviations))
+            lines.append("")
+        elif result.tables:
+            # No published numbers to compare — show the first text table.
+            lines.extend(["```text", result.tables[0].render_text(), "```",
+                          ""])
+        if payload.get("check_error"):
+            lines.extend([f"**Sanity check failed:** "
+                          f"{payload['check_error']}", ""])
+    return "\n".join(lines)

@@ -122,6 +122,12 @@ class ExperimentRunner:
         self.store = open_store(store)
         #: Cache accounting of the most recent engine dispatch.
         self.last_report: Optional[SweepReport] = None
+        #: Cumulative accounting over the runner's lifetime — lets a
+        #: multi-sweep consumer (the report pipeline) assert that a whole
+        #: run was served from the store, not just its last dispatch.
+        self.jobs_total = 0
+        self.jobs_simulated = 0
+        self.jobs_cached = 0
 
     # ------------------------------------------------------------------
     # configuration helpers
@@ -144,6 +150,9 @@ class ExperimentRunner:
     def _dispatch(self, jobs: Sequence[SweepJob]) -> List[RunResult]:
         report = run_jobs(jobs, workers=self.workers, store=self.store)
         self.last_report = report
+        self.jobs_total += report.total
+        self.jobs_simulated += report.simulated
+        self.jobs_cached += report.cached
         return report.results
 
     # ------------------------------------------------------------------

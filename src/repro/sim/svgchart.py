@@ -1,0 +1,289 @@
+"""Dependency-free SVG bar/line charts for the report pipeline.
+
+Sibling of :mod:`repro.sim.tables`: where ``tables`` renders a reproduced
+figure as a fixed-width text table, this module renders the same data as a
+small standalone SVG image that the generated markdown pages embed.  Only
+the standard library is used — the output is a self-contained ``<svg>``
+document (well-formed XML, checked by the test suite), so the gallery
+renders on any host without a plotting stack.
+
+Three chart forms cover every figure of the evaluation:
+
+* :func:`bar_chart` — a single series over ordinal categories
+  (Figures 11 and 14);
+* :func:`grouped_bar_chart` — one bar group per row, one bar per series
+  (the per-class and per-workload figures, 12/13/15-18, and the
+  min/max/geomean motivation study of Figure 2);
+* :func:`line_chart` — a single series over an ordered axis (Figure 1's
+  line-size sweep).
+
+Colors come from a validated colorblind-safe categorical palette (fixed
+slot order — a series keeps its color regardless of how many are shown)
+on an explicit light surface, so the images read identically in light and
+dark viewers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+#: Categorical series colors, in fixed slot order (validated palette:
+#: adjacent-pair CVD deltaE >= 8, normal-vision >= 15 on the light surface).
+SERIES_COLORS = (
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+)
+
+SURFACE = "#fcfcfb"          # explicit light chart surface
+INK_PRIMARY = "#0b0b0b"      # title
+INK_SECONDARY = "#52514e"    # legend, value labels
+INK_MUTED = "#898781"        # axis tick labels
+GRIDLINE = "#e1e0d9"         # hairline y grid
+AXIS = "#c3c2b7"             # baseline / axis strokes
+
+FONT = 'font-family="system-ui, -apple-system, Segoe UI, sans-serif"'
+
+#: Geometry defaults (pixels).
+WIDTH = 640
+HEIGHT = 300
+MARGIN_TOP = 40
+MARGIN_RIGHT = 16
+MARGIN_LEFT = 56
+MARGIN_BOTTOM = 44
+BAR_CORNER = 3               # rounded data-end radius
+BAR_GAP = 2                  # surface gap between adjacent bars
+
+
+def _fmt(value: float) -> str:
+    """Short numeric label: trims trailing zeros, keeps small values legible."""
+    if value == int(value) and abs(value) < 10_000:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 4) -> List[float]:
+    """Round tick positions covering [lo, hi] (lo is usually 0)."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(1, n)
+    magnitude = 10 ** len(str(int(raw))) / 10 if raw >= 1 else 1.0
+    while magnitude > raw:
+        magnitude /= 10
+    for step in (magnitude, 2 * magnitude, 2.5 * magnitude, 5 * magnitude,
+                 10 * magnitude):
+        if span / step <= n:
+            break
+    ticks = []
+    tick = lo
+    while tick <= hi + 1e-9:
+        ticks.append(round(tick, 10))
+        tick += step
+    if ticks[-1] < hi:
+        ticks.append(round(ticks[-1] + step, 10))
+    return ticks
+
+
+def _rounded_bar(x: float, y_base: float, y_top: float, width: float,
+                 fill: str) -> str:
+    """A bar anchored at the baseline with a rounded data end."""
+    height = y_base - y_top
+    radius = min(BAR_CORNER, width / 2, max(height, 0.0))
+    if height <= 0:
+        return ""
+    return (
+        f'<path d="M{x:.1f},{y_base:.1f} V{y_top + radius:.1f} '
+        f'Q{x:.1f},{y_top:.1f} {x + radius:.1f},{y_top:.1f} '
+        f'H{x + width - radius:.1f} '
+        f'Q{x + width:.1f},{y_top:.1f} {x + width:.1f},{y_top + radius:.1f} '
+        f'V{y_base:.1f} Z" fill="{fill}"/>'
+    )
+
+
+class _Frame:
+    """Shared plot frame: surface, title, y grid/ticks, x band layout."""
+
+    def __init__(self, title: str, y_values: Sequence[float],
+                 x_labels: Sequence[str], width: int, height: int,
+                 y_label: str = "", legend: Sequence[str] = ()) -> None:
+        self.width = width
+        self.height = height
+        self.left = MARGIN_LEFT
+        self.right = width - MARGIN_RIGHT
+        self.top = MARGIN_TOP + (16 if legend else 0)
+        self.bottom = height - MARGIN_BOTTOM
+        lo = min(0.0, min(y_values) if y_values else 0.0)
+        hi = max(y_values) if y_values else 1.0
+        self.ticks = _nice_ticks(lo, hi)
+        self.y_lo, self.y_hi = self.ticks[0], self.ticks[-1]
+        self.x_labels = list(x_labels)
+        self.parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" '
+            f'role="img" aria-label="{escape(title, {chr(34): "&quot;"})}">',
+            f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>',
+            f'<text x="{MARGIN_LEFT}" y="22" {FONT} font-size="14" '
+            f'font-weight="600" fill="{INK_PRIMARY}">{escape(title)}</text>',
+        ]
+        if y_label:
+            self.parts.append(
+                f'<text x="{self.right}" y="22" {FONT} font-size="11" '
+                f'text-anchor="end" fill="{INK_MUTED}">{escape(y_label)}</text>')
+        self._legend(legend)
+        self._y_grid()
+
+    def _legend(self, names: Sequence[str]) -> None:
+        x = MARGIN_LEFT
+        y = MARGIN_TOP + 4
+        for i, name in enumerate(names):
+            color = SERIES_COLORS[i % len(SERIES_COLORS)]
+            self.parts.append(
+                f'<rect x="{x}" y="{y - 8}" width="9" height="9" rx="2" '
+                f'fill="{color}"/>')
+            self.parts.append(
+                f'<text x="{x + 13}" y="{y}" {FONT} font-size="11" '
+                f'fill="{INK_SECONDARY}">{escape(name)}</text>')
+            x += 13 + 7 * len(name) + 18
+
+    def _y_grid(self) -> None:
+        for tick in self.ticks:
+            y = self.y_of(tick)
+            stroke = AXIS if tick == 0 else GRIDLINE
+            self.parts.append(
+                f'<line x1="{self.left}" y1="{y:.1f}" x2="{self.right}" '
+                f'y2="{y:.1f}" stroke="{stroke}" stroke-width="1"/>')
+            self.parts.append(
+                f'<text x="{self.left - 6}" y="{y + 3.5:.1f}" {FONT} '
+                f'font-size="10" text-anchor="end" fill="{INK_MUTED}">'
+                f'{_fmt(tick)}</text>')
+
+    def y_of(self, value: float) -> float:
+        span = self.y_hi - self.y_lo
+        frac = (value - self.y_lo) / span if span else 0.0
+        return self.bottom - frac * (self.bottom - self.top)
+
+    def band(self, index: int) -> Tuple[float, float]:
+        """(left x, width) of ordinal band ``index``."""
+        count = max(1, len(self.x_labels))
+        width = (self.right - self.left) / count
+        return self.left + index * width, width
+
+    def x_axis_labels(self) -> None:
+        rotate = max((len(label) for label in self.x_labels), default=0) > 9
+        for i, label in enumerate(self.x_labels):
+            x0, bandw = self.band(i)
+            cx = x0 + bandw / 2
+            y = self.bottom + 14
+            if rotate:
+                self.parts.append(
+                    f'<text x="{cx:.1f}" y="{y}" {FONT} font-size="10" '
+                    f'text-anchor="end" fill="{INK_MUTED}" '
+                    f'transform="rotate(-30 {cx:.1f} {y})">{escape(label)}'
+                    f'</text>')
+            else:
+                self.parts.append(
+                    f'<text x="{cx:.1f}" y="{y}" {FONT} font-size="10" '
+                    f'text-anchor="middle" fill="{INK_MUTED}">{escape(label)}'
+                    f'</text>')
+
+    def close(self) -> str:
+        self.parts.append("</svg>")
+        return "\n".join(part for part in self.parts if part)
+
+
+def bar_chart(series: Mapping[str, float], *, title: str, y_label: str = "",
+              width: int = WIDTH, height: int = HEIGHT) -> str:
+    """Single-series bar chart over the ordinal keys of ``series``."""
+    labels = [str(key) for key in series]
+    values = [float(value) for value in series.values()]
+    frame = _Frame(title, values, labels, width, height, y_label=y_label)
+    for i, value in enumerate(values):
+        x0, bandw = frame.band(i)
+        bar_width = min(48.0, bandw * 0.6)
+        x = x0 + (bandw - bar_width) / 2
+        frame.parts.append(_rounded_bar(x, frame.y_of(frame.y_lo),
+                                        frame.y_of(value), bar_width,
+                                        SERIES_COLORS[0]))
+    frame.x_axis_labels()
+    return frame.close()
+
+
+def grouped_bar_chart(groups: Mapping[str, Mapping[str, float]], *,
+                      title: str, y_label: str = "",
+                      series_order: Optional[Sequence[str]] = None,
+                      width: int = WIDTH, height: int = HEIGHT) -> str:
+    """Grouped bars: one band per group (outer keys), one bar per series.
+
+    Series colors follow the fixed slot order of ``series_order`` (or the
+    order series first appear), so a series keeps its color across charts.
+    At most ``len(SERIES_COLORS)`` series are supported — beyond that the
+    figure should be split, not hue-cycled.
+    """
+    if series_order is None:
+        seen: List[str] = []
+        for by_series in groups.values():
+            for name in by_series:
+                if name not in seen:
+                    seen.append(name)
+        series_order = seen
+    if len(series_order) > len(SERIES_COLORS):
+        raise ValueError(
+            f"at most {len(SERIES_COLORS)} series per chart, got "
+            f"{len(series_order)}; split the figure instead")
+    labels = [str(key) for key in groups]
+    values = [float(value)
+              for by_series in groups.values() for value in by_series.values()]
+    frame = _Frame(title, values, labels, width, height, y_label=y_label,
+                   legend=series_order)
+    for g, by_series in enumerate(groups.values()):
+        x0, bandw = frame.band(g)
+        inner = bandw * 0.82
+        slot = inner / max(1, len(series_order))
+        bar_width = max(2.0, min(22.0, slot - BAR_GAP))
+        start = x0 + (bandw - len(series_order) * slot) / 2
+        for s, name in enumerate(series_order):
+            if name not in by_series:
+                continue
+            x = start + s * slot + (slot - bar_width) / 2
+            frame.parts.append(_rounded_bar(
+                x, frame.y_of(frame.y_lo), frame.y_of(float(by_series[name])),
+                bar_width, SERIES_COLORS[s]))
+    frame.x_axis_labels()
+    return frame.close()
+
+
+def line_chart(series: Mapping[str, float], *, title: str, y_label: str = "",
+               width: int = WIDTH, height: int = HEIGHT) -> str:
+    """Single-series line over the ordered keys of ``series``.
+
+    Keys are treated as ordinal positions (evenly spaced) with their own
+    tick labels, which suits the doubling line-size sweep of Figure 1.
+    """
+    labels = [str(key) for key in series]
+    values = [float(value) for value in series.values()]
+    frame = _Frame(title, values, labels, width, height, y_label=y_label)
+    points = []
+    for i, value in enumerate(values):
+        x0, bandw = frame.band(i)
+        points.append((x0 + bandw / 2, frame.y_of(value)))
+    path = " ".join(f"{'M' if i == 0 else 'L'}{x:.1f},{y:.1f}"
+                    for i, (x, y) in enumerate(points))
+    frame.parts.append(f'<path d="{path}" fill="none" '
+                       f'stroke="{SERIES_COLORS[0]}" stroke-width="2"/>')
+    for x, y in points:
+        frame.parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+            f'fill="{SERIES_COLORS[0]}" stroke="{SURFACE}" stroke-width="2"/>')
+    frame.x_axis_labels()
+    return frame.close()

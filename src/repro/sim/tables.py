@@ -29,6 +29,8 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
 
 
 def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)

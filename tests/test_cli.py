@@ -91,6 +91,41 @@ def test_workloads_listing(capsys):
                capsys.readouterr().out.splitlines())
 
 
+def test_report_list(capsys):
+    assert main(["report", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig12" in out and "table2" in out and "perf" in out
+    assert len(out.strip().splitlines()) == 13
+
+
+def test_report_single_bench_writes_gallery_and_artifacts(tmp_path, capsys):
+    out_dir = tmp_path / "artifacts"
+    gallery = tmp_path / "EXPERIMENTS.md"
+    code = main(["report", "--bench", "table1", "--no-store",
+                 "--out-dir", str(out_dir), "--gallery", str(gallery)])
+    assert code == 0
+    assert (out_dir / "table1.json").exists()
+    assert (out_dir / "table1.md").exists()
+    assert "table1" in gallery.read_text()
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_report_unknown_bench_fails(capsys):
+    assert main(["report", "--bench", "fig99", "--no-store"]) == 2
+    assert "unknown bench" in capsys.readouterr().err
+
+
+def test_apidoc_write_and_check(tmp_path, capsys):
+    target = tmp_path / "api.md"
+    assert main(["apidoc", "--out", str(target)]) == 0
+    assert target.exists()
+    assert main(["apidoc", "--out", str(target), "--check"]) == 0
+    target.write_text(target.read_text() + "drift\n")
+    capsys.readouterr()
+    assert main(["apidoc", "--out", str(target), "--check"]) == 1
+    assert "stale" in capsys.readouterr().err
+
+
 def test_store_info_and_clear(tmp_path, capsys):
     store = str(tmp_path / "store")
     main(SWEEP_ARGS + ["--store", store])

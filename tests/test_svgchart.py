@@ -1,0 +1,75 @@
+"""Tests for the dependency-free SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.sim import svgchart
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _root(svg: str) -> ET.Element:
+    """Parse the SVG; raises on malformed XML (the core contract)."""
+    return ET.fromstring(svg)
+
+
+def _texts(root: ET.Element):
+    return [el.text for el in root.iter(f"{SVG_NS}text")]
+
+
+def test_bar_chart_is_well_formed_and_labelled():
+    svg = svgchart.bar_chart({"A": 1.0, "B": 2.5, "C": 0.4},
+                             title="t & <title>", y_label="speedup")
+    root = _root(svg)
+    assert root.tag == f"{SVG_NS}svg"
+    texts = _texts(root)
+    assert "t & <title>" in texts          # escaping round-trips
+    for label in ("A", "B", "C"):
+        assert label in texts
+    # One rounded bar path per value.
+    paths = [el for el in root.iter(f"{SVG_NS}path")]
+    assert len(paths) == 3
+
+
+def test_grouped_bar_chart_draws_legend_and_all_series():
+    groups = {"high": {"X": 1.2, "Y": 1.5}, "low": {"X": 0.9, "Y": 1.1}}
+    svg = svgchart.grouped_bar_chart(groups, title="grouped",
+                                     series_order=["X", "Y"])
+    root = _root(svg)
+    texts = _texts(root)
+    assert "X" in texts and "Y" in texts   # legend entries
+    assert len(list(root.iter(f"{SVG_NS}path"))) == 4
+    # Fixed slot order: first series is slot-1 blue.
+    assert svgchart.SERIES_COLORS[0] in svg
+    assert svgchart.SERIES_COLORS[1] in svg
+
+
+def test_grouped_bar_chart_skips_missing_cells_and_caps_series():
+    groups = {"g": {"X": 1.0}, "h": {"X": 2.0, "Y": 1.0}}
+    root = _root(svgchart.grouped_bar_chart(groups, title="sparse"))
+    assert len(list(root.iter(f"{SVG_NS}path"))) == 3
+    too_many = {"g": {f"s{i}": 1.0 for i in range(9)}}
+    with pytest.raises(ValueError):
+        svgchart.grouped_bar_chart(too_many, title="over")
+
+
+def test_line_chart_has_path_and_markers():
+    series = {64: 0.5, 128: 3.0, 256: 7.5, 512: 12.0}
+    root = _root(svgchart.line_chart(series, title="line", y_label="%"))
+    paths = [el for el in root.iter(f"{SVG_NS}path")]
+    assert len(paths) == 1
+    assert paths[0].get("d", "").startswith("M")
+    assert len(list(root.iter(f"{SVG_NS}circle"))) == len(series)
+
+
+def test_charts_handle_flat_and_empty_like_data():
+    # All-zero values must not divide by zero.
+    _root(svgchart.bar_chart({"a": 0.0, "b": 0.0}, title="zeros"))
+    _root(svgchart.line_chart({"a": 1.0}, title="single point"))
+
+
+def test_nice_ticks_cover_the_data_range():
+    ticks = svgchart._nice_ticks(0.0, 12.0)
+    assert ticks[0] <= 0.0 and ticks[-1] >= 12.0
+    assert len(ticks) >= 3
