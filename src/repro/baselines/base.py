@@ -21,7 +21,7 @@ Figures 1-2).
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Callable, Optional
 
 from ..common import AccessOutcome
 from ..memory.controller import MemoryController
@@ -61,6 +61,25 @@ class MemorySystem(abc.ABC):
     def writeback(self, address: int, now_ns: float) -> None:
         """Accept an LLC dirty eviction (default: treat as a write access)."""
         self.access(address, True, now_ns)
+
+    def fast_path(self, addresses) -> Optional[Callable[[int, bool, float], float]]:
+        """Compile a batch step function for the columnar driver.
+
+        ``addresses`` is the full flattened int64 address column of the run
+        (scheduler order, warmup included).  Implementations vectorize every
+        pure address-derived quantity (wrapping, set indices, segment/offset
+        splits, placement addresses) over the whole column with numpy once,
+        and return a closure ``step(i, is_write, now_ns) -> latency_ns``
+        that serves reference ``i`` with the same state mutations — and the
+        same device-access order — as :meth:`access`, so all counters stay
+        bit-identical (``tests/test_engine_equivalence.py``).  Rare events
+        (evictions, swaps, interval migrations, XTA misses) fall back to the
+        existing slow-path methods, which share the same state objects.
+
+        The default returns ``None``: the driver then falls back to the
+        per-reference :meth:`access` loop.
+        """
+        return None
 
     def reset_measurement(self) -> None:
         """Zero the measured counters after a warm-up phase.

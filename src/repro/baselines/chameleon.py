@@ -22,7 +22,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict
 
-from ..common import LINE_SIZE, AccessOutcome
+from ..common import LINE_SIZE, AccessOutcome, MemoryKind
+from ..memory.kernels import make_kernels
 from ..params import SystemConfig
 from ..stats import Stats
 from .migration_base import MigrationSystem
@@ -90,6 +91,84 @@ class ChameleonGroups(MigrationSystem):
         self._note_access(segment, served_from_nm, is_write, now_ns)
         return self._outcome(result.latency_ns, served_from_nm, is_write,
                              path="nm" if served_from_nm else "fm")
+
+    def fast_path(self, addresses):
+        """Batch operator: cache-mode probe and competing counters inlined.
+
+        Chameleon replaces the shared migration step entirely because its
+        access path differs (cache mode first, no in-memory remap, no FM
+        interval counter).  Group swaps and cache-mode fills remain on the
+        slow-path methods, sharing the remap/cache/controller state.
+        """
+        near_line, _ = make_kernels(self.near)
+        far_line, _ = make_kernels(self.far)
+        seg_bytes = self.segment_bytes
+        addr = addresses % self.flat_capacity_bytes
+        seg_col = (addr // seg_bytes).tolist()
+        off_col = (addr % seg_bytes).tolist()
+        kind_col = self.remap._kind
+        frame_col = self.remap._frame
+        near_kind = MemoryKind.NEAR
+        cache_mode = self._cache_mode
+        cache_move = cache_mode.move_to_end
+        counters = self._counters
+        threshold = self.threshold
+        fill_at = threshold // 2
+        cache_capacity = self._cache_capacity
+
+        def note_fm(segment: int, now_ns: float) -> None:
+            # _note_access with served_from_nm=False, inlined.
+            if segment == self._last_segment:
+                return
+            self._last_segment = segment
+            count = counters.get(segment, 0) + 1
+            if count >= threshold:
+                counters.pop(segment, None)
+                if self._swap_into_nm(segment, now_ns):
+                    self.group_swaps += 1
+                    cache_mode.pop(segment, None)
+                return
+            counters[segment] = count
+            if count == fill_at:
+                self._fill_cache_mode(segment, now_ns)
+
+        def step(i: int, is_write: bool, now_ns: float) -> float:
+            if now_ns >= self._interval_end_ns:
+                self._maybe_end_interval(now_ns)
+            seg = seg_col[i]
+            off = off_col[i]
+            in_near = kind_col[seg] is near_kind
+            if not in_near and seg in cache_mode:
+                if is_write:
+                    cache_mode[seg] = True
+                cache_move(seg)
+                self.cache_mode_hits += 1
+                latency = near_line((seg % cache_capacity) * seg_bytes + off,
+                                    is_write, now_ns, 0)
+                note_fm(seg, now_ns)
+                self.requests += 1
+                if is_write:
+                    self.write_requests += 1
+                self.requests_from_nm += 1
+                return latency
+            if in_near:
+                latency = near_line(frame_col[seg] * seg_bytes + off,
+                                    is_write, now_ns, 0)
+                self._last_segment = seg
+                self.requests += 1
+                if is_write:
+                    self.write_requests += 1
+                self.requests_from_nm += 1
+                return latency
+            latency = far_line(frame_col[seg] * seg_bytes + off,
+                               is_write, now_ns, 0)
+            note_fm(seg, now_ns)
+            self.requests += 1
+            if is_write:
+                self.write_requests += 1
+            return latency
+
+        return step
 
     # ------------------------------------------------------------------
     # competing counters

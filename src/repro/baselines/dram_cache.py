@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..common import LINE_SIZE, AccessOutcome, full_mask, popcount
+from ..memory.kernels import make_kernels
 from ..params import SystemConfig
 from ..stats import Stats
 from .base import MemorySystem
@@ -144,6 +145,87 @@ class DramCacheSystem(MemorySystem):
         self.fetched_blocks += self.blocks_per_line
         return self._outcome(latency, served_from_nm=False, is_write=is_write,
                              dram_cache_hit=False, path="cache-miss")
+
+    def fast_path(self, addresses):
+        """Batch operator shared by the cache baselines (IDEAL/TAGLESS/DFC).
+
+        Set index, tag, touched-block bit and every placement address
+        (NM slot, NM fill base, FM line base) are pure functions of the
+        address, so they are computed for the whole column with numpy once.
+        The step inlines the hit path (tag probe + one NM burst) and the
+        miss path (tag cost, fetch + fill); evictions stay on
+        :meth:`_evict`, which shares the same set/controller state.
+        """
+        near_line, near_block = make_kernels(self.near)
+        far_line, far_block = make_kernels(self.far)
+        line_size = self.line_size
+        num_sets = self.num_sets
+        addr = addresses % self.flat_capacity_bytes
+        line_arr = addr // line_size
+        set_arr = line_arr % num_sets
+        block_arr = (addr % line_size) // LINE_SIZE
+        # _nm_address over the whole column.
+        nm_lines = max(1, self.config.near.capacity_bytes // line_size)
+        nm_base_arr = ((line_arr * num_sets + set_arr) % nm_lines) * line_size
+        set_col = set_arr.tolist()
+        tag_col = line_arr.tolist()
+        # Python-int shifts: 4 KB lines have 64 blocks and ``1 << 63``
+        # overflows int64.
+        bit_col = [1 << b for b in block_arr.tolist()]
+        nm_hit_col = (nm_base_arr + block_arr * LINE_SIZE).tolist()
+        nm_base_col = nm_base_arr.tolist()
+        fm_base_col = (addr - addr % line_size).tolist()
+
+        sets = self._sets
+        ways = self.ways
+        tag_lat = self.tag_latency_ns
+        hit_frac = self.tag_in_dram_hit_fraction
+        hit_period = max(1, int(round(1.0 / hit_frac))) if hit_frac > 0.0 else 0
+        miss_needs_tag = self.tag_in_dram_miss
+        evict = self._evict
+        blocks_per_line = self.blocks_per_line
+
+        def step(i: int, is_write: bool, now_ns: float) -> float:
+            tag = tag_col[i]
+            cache_set = sets[set_col[i]]
+            line = cache_set.get(tag)
+            if line is not None:
+                cache_set.move_to_end(tag)
+                line.touched_mask |= bit_col[i]
+                if is_write:
+                    line.dirty = True
+                self.cache_hits += 1
+                latency = tag_lat
+                if hit_period:
+                    hits = self._hit_counter + 1
+                    self._hit_counter = hits
+                    if hits % hit_period == 0:
+                        latency += near_line(0, False, now_ns, 2)
+                latency += near_line(nm_hit_col[i], is_write, now_ns, 0)
+                self.requests += 1
+                if is_write:
+                    self.write_requests += 1
+                self.requests_from_nm += 1
+                return latency
+
+            self.cache_misses += 1
+            latency = tag_lat
+            if miss_needs_tag:
+                latency += near_line(0, False, now_ns, 2)
+            if len(cache_set) >= ways:
+                evict(cache_set, set_col[i], now_ns)
+            latency += far_block(fm_base_col[i], line_size, False, now_ns,
+                                 True)
+            near_block(nm_base_col[i], line_size, True, now_ns, False)
+            cache_set[tag] = DramCacheLine(tag=tag, dirty=is_write,
+                                           touched_mask=bit_col[i])
+            self.fetched_blocks += blocks_per_line
+            self.requests += 1
+            if is_write:
+                self.write_requests += 1
+            return latency
+
+        return step
 
     def _evict(self, cache_set: OrderedDict, set_index: int,
                now_ns: float) -> None:

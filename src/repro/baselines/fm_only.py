@@ -12,6 +12,7 @@ metric in Figures 2 and 12-18.
 from __future__ import annotations
 
 from ..common import LINE_SIZE, AccessOutcome
+from ..memory.kernels import make_kernels
 from ..params import SystemConfig
 from .base import MemorySystem
 
@@ -31,6 +32,20 @@ class FarMemoryOnly(MemorySystem):
         result = self.far.access(address, is_write, now_ns, LINE_SIZE)
         return self._outcome(result.latency_ns, served_from_nm=False,
                              is_write=is_write, path="fm")
+
+    def fast_path(self, addresses):
+        """Batch operator: the wrap is vectorized, each step is one FM burst."""
+        far_line, _ = make_kernels(self.far)
+        addr_col = (addresses % self.config.far.capacity_bytes).tolist()
+
+        def step(i: int, is_write: bool, now_ns: float) -> float:
+            latency = far_line(addr_col[i], is_write, now_ns, 0)
+            self.requests += 1
+            if is_write:
+                self.write_requests += 1
+            return latency
+
+        return step
 
     @property
     def flat_capacity_bytes(self) -> int:

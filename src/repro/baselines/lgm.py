@@ -57,6 +57,25 @@ class LgmMigration(MigrationSystem):
             return
         self._access_count[segment] = self._access_count.get(segment, 0) + 1
 
+    def _fast_note_hook(self):
+        # Merges the access-count bump of :meth:`_note_access` with the
+        # distinct-line tracking of :meth:`access`; nothing reads either
+        # between the two updates (the interval boundary only fires at the
+        # start of the next access), so the merged update is equivalent.
+        counts = self._access_count
+        lines = self._lines_touched
+
+        def note(segment, offset, served_from_nm, is_write, now_ns):
+            if served_from_nm:
+                return
+            counts[segment] = counts.get(segment, 0) + 1
+            touched = lines.get(segment)
+            if touched is None:
+                touched = lines[segment] = set()
+            touched.add(offset // LINE_SIZE)
+
+        return note
+
     def access(self, address: int, is_write: bool, now_ns: float):
         """Serve the request and record the distinct 64 B line touched.
 

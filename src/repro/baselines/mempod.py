@@ -80,6 +80,15 @@ class MemPod(MigrationSystem):
         if not served_from_nm:
             self.mea.observe(segment)
 
+    def _fast_note_hook(self):
+        observe = self.mea.observe
+
+        def note(segment, offset, served_from_nm, is_write, now_ns):
+            if not served_from_nm:
+                observe(segment)
+
+        return note
+
     def _interval_end(self, now_ns: float) -> None:
         self.intervals += 1
         hot = sorted(self.mea.tracked().items(), key=lambda kv: -kv[1])

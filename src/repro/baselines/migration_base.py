@@ -26,8 +26,9 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
-from ..common import LINE_SIZE, AccessOutcome
+from ..common import LINE_SIZE, AccessOutcome, MemoryKind
 from ..core.remap import RemapTable
+from ..memory.kernels import make_kernels
 from ..params import SystemConfig
 from ..stats import Stats
 from .base import MemorySystem
@@ -131,6 +132,83 @@ class MigrationSystem(MemorySystem):
         self._note_access(segment, served_from_nm, is_write, now_ns)
         return self._outcome(latency, served_from_nm, is_write,
                              path="nm" if served_from_nm else "fm")
+
+    def fast_path(self, addresses):
+        """Batch operator shared by MemPod and LGM (Chameleon overrides).
+
+        Segment number, offset and the remap-metadata address are pure
+        address functions, vectorized over the whole column; the step
+        inlines the remap-cache lookup and the NM/FM burst and feeds the
+        selection policy through the per-design :meth:`_fast_note_hook`
+        closure.  Interval migrations and swaps stay on the slow-path
+        methods, which mutate the same remap/cache/controller state.
+        """
+        near_line, _ = make_kernels(self.near)
+        far_line, _ = make_kernels(self.far)
+        seg_bytes = self.segment_bytes
+        addr = addresses % self.flat_capacity_bytes
+        segment_arr = addr // seg_bytes
+        seg_col = segment_arr.tolist()
+        off_col = (addr % seg_bytes).tolist()
+        remap_in_memory = self.remap_in_memory
+        meta_col = (((segment_arr * 8) % self.config.near.capacity_bytes)
+                    .tolist() if remap_in_memory else None)
+        kind_col = self.remap._kind
+        frame_col = self.remap._frame
+        near_kind = MemoryKind.NEAR
+        cache = self.remap_cache
+        entries = cache._entries
+        move_to_end = entries.move_to_end
+        cache_capacity = cache.capacity
+        note = self._fast_note_hook()
+
+        def step(i: int, is_write: bool, now_ns: float) -> float:
+            if now_ns >= self._interval_end_ns:
+                self._maybe_end_interval(now_ns)
+            seg = seg_col[i]
+            if remap_in_memory:
+                if seg in entries:
+                    move_to_end(seg)
+                    cache.hits += 1
+                    latency = 0.0
+                else:
+                    cache.misses += 1
+                    entries[seg] = True
+                    if len(entries) > cache_capacity:
+                        entries.popitem(last=False)
+                    latency = near_line(meta_col[i], False, now_ns, 2)
+            else:
+                latency = 0.0
+            off = off_col[i]
+            if kind_col[seg] is near_kind:
+                latency += near_line(frame_col[seg] * seg_bytes + off,
+                                     is_write, now_ns, 0)
+                note(seg, off, True, is_write, now_ns)
+                self.requests += 1
+                if is_write:
+                    self.write_requests += 1
+                self.requests_from_nm += 1
+            else:
+                latency += far_line(frame_col[seg] * seg_bytes + off,
+                                    is_write, now_ns, 0)
+                self._interval_fm_accesses += 1
+                note(seg, off, False, is_write, now_ns)
+                self.requests += 1
+                if is_write:
+                    self.write_requests += 1
+            return latency
+
+        return step
+
+    def _fast_note_hook(self):
+        """Return a ``(segment, offset, served_from_nm, is_write, now_ns)``
+        closure feeding the selection policy; subclasses inline theirs."""
+        note_access = self._note_access
+
+        def note(segment, offset, served_from_nm, is_write, now_ns):
+            note_access(segment, served_from_nm, is_write, now_ns)
+
+        return note
 
     # ------------------------------------------------------------------
     # pieces shared by the subclasses

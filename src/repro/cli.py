@@ -164,6 +164,13 @@ def _add_bench_parser(sub: argparse._SubParsersAction) -> None:
                             "(default: all registry designs)")
     which.add_argument("--no-designs", action="store_true",
                        help="skip the per-design measurements")
+    p.add_argument("--no-engine", action="store_true",
+                   help="skip the engine sections (fast path, generator, "
+                        "small-trace fast path); used by the per-design "
+                        "CI matrix jobs")
+    p.add_argument("--small-refs", type=int, default=None, metavar="N",
+                   help="reference count of the small-trace fast-path "
+                        "measurement (default 2000; 0 disables it)")
     p.add_argument("--out", default=None, metavar="FILE",
                    help="write the benchmark report JSON here")
     p.add_argument("--baseline", default=None, metavar="FILE",
@@ -172,6 +179,10 @@ def _add_bench_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--max-regression", type=float, default=0.30,
                    help="allowed fractional speedup regression vs the "
                         "baseline (default 0.30)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="write this run's payload to --baseline instead of "
+                        "gating against it (after an intentional perf "
+                        "change; commit the refreshed file)")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -186,12 +197,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise KeyError(f"unknown designs {unknown}; known: "
                            f"{sorted(DESIGN_FACTORIES)}")
     get_workload(args.workload)        # same: fail fast on a typo
+    if args.update_baseline and not args.baseline:
+        raise SystemExit("--update-baseline requires --baseline FILE")
+    kwargs = {}
+    if args.small_refs is not None:
+        kwargs["small_refs"] = args.small_refs
     payload = perfbench.run_benchmark(refs=args.refs, workload=args.workload,
-                                      repeat=args.repeat, designs=designs)
+                                      repeat=args.repeat, designs=designs,
+                                      engine=not args.no_engine, **kwargs)
     print(perfbench.render_report(payload))
     if args.out:
         perfbench.write_report(payload, args.out)
         print(f"wrote {args.out}")
+    if args.update_baseline:
+        perfbench.write_report(payload, args.baseline)
+        print(f"updated baseline {args.baseline}")
+        return 0
     if args.baseline:
         baseline = perfbench.load_report(args.baseline)
         # The gated speedup ratio is interpreter-sensitive (numpy-bound

@@ -164,6 +164,77 @@ class DCMC:
         return self._serve_xta_miss(sector, line, offset, is_write, now_ns,
                                     latency)
 
+    def fast_path(self, addresses, system):
+        """Batch operator for Hybrid2 (invoked through
+        :meth:`~repro.core.hybrid2.Hybrid2System.fast_path`).
+
+        Sector/line/offset splits are vectorized over the whole column; the
+        step inlines the dominant XTA-hit/line-hit path (tag-map probe, LRU
+        touch, access counter, one NM burst) and defers line misses and XTA
+        misses to :meth:`_serve_line_miss` / :meth:`_serve_xta_miss`, which
+        share every structure.  ``system`` supplies the request counters of
+        the wrapping :class:`~repro.baselines.base.MemorySystem`.
+        """
+        from ..memory.kernels import make_kernels
+        near_line, _ = make_kernels(self.near)
+        addr = addresses % self.flat_capacity_bytes
+        sector_arr = addr // self.sector_bytes
+        offset_arr = addr % self.sector_bytes
+        sec_col = sector_arr.tolist()
+        off_col = offset_arr.tolist()
+        line_col = (offset_arr // self.dram_line_bytes).tolist()
+        xta = self.xta
+        tag_maps = xta._tag_maps
+        num_sets = xta.num_sets
+        counter_max = xta.counter_max
+        counters = self.counters._counters
+        xta_lat = self.params.xta_latency_ns
+        sector_bytes = self.sector_bytes
+        serve_line_miss = self._serve_line_miss
+        serve_xta_miss = self._serve_xta_miss
+
+        def step(i: int, is_write: bool, now_ns: float) -> float:
+            sector = sec_col[i]
+            xta.lookups += 1
+            entry = tag_maps[sector % num_sets].get(sector)
+            if entry is not None:
+                xta.hits += 1
+                clock = xta._clock + 1
+                xta._clock = clock
+                entry.lru_stamp = clock
+                counters["xta.hits"] += 1.0
+                fm_frame = entry.fm_frame
+                # XTA.record_access: count only non-migrated sectors.
+                if fm_frame is not None and entry.access_counter < counter_max:
+                    entry.access_counter += 1
+                line = line_col[i]
+                if fm_frame is None or entry.valid_mask & (1 << line):
+                    counters["line.hits"] += 1.0
+                    latency = near_line(
+                        entry.nm_frame * sector_bytes + off_col[i],
+                        is_write, now_ns, 0)
+                    if is_write:
+                        entry.dirty_mask |= (1 << line)
+                    system.requests += 1
+                    if is_write:
+                        system.write_requests += 1
+                    system.requests_from_nm += 1
+                    return xta_lat + latency
+                result = serve_line_miss(entry, line, off_col[i], is_write,
+                                         now_ns, xta_lat)
+            else:
+                counters["xta.misses"] += 1.0
+                result = serve_xta_miss(sector, line_col[i], off_col[i],
+                                        is_write, now_ns, xta_lat)
+            system.requests += 1
+            if is_write:
+                system.write_requests += 1
+            if result.served_from_nm:
+                system.requests_from_nm += 1
+            return result.latency_ns
+
+        return step
+
     # -- 1a ------------------------------------------------------------
     def _serve_line_hit(self, entry: XTAEntry, line: int, offset: int,
                         is_write: bool, now_ns: float,

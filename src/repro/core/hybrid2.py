@@ -37,6 +37,10 @@ class Hybrid2System(MemorySystem):
                              is_write, dram_cache_hit=result.served_from_nm,
                              path=result.path)
 
+    def fast_path(self, addresses):
+        """Batch operator: delegated to the DCMC, which owns every structure."""
+        return self.dcmc.fast_path(addresses, self)
+
     @property
     def flat_capacity_bytes(self) -> int:
         return self.dcmc.flat_capacity_bytes

@@ -16,8 +16,8 @@ with the metadata that lets the same structure drive migration:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from ..common import full_mask, popcount
 
@@ -33,6 +33,11 @@ class XTAEntry:
     nm_frame: Optional[int] = None     # NM frame backing the cached lines
     fm_frame: Optional[int] = None     # FM frame while not migrated
     lru_stamp: int = -1
+    #: Back-reference to the set's tag->entry map (kept consistent by
+    #: :meth:`clear` / :meth:`XTA.allocate`); ``None`` for free-standing
+    #: entries created outside an :class:`XTA`.
+    owner_map: Optional[Dict[int, "XTAEntry"]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def allocated(self) -> bool:
@@ -62,6 +67,8 @@ class XTAEntry:
         self.dirty_mask |= (1 << line)
 
     def clear(self) -> None:
+        if self.owner_map is not None and self.tag >= 0:
+            self.owner_map.pop(self.tag, None)
         self.tag = -1
         self.valid_mask = 0
         self.dirty_mask = 0
@@ -91,6 +98,15 @@ class XTA:
         self._sets: List[List[XTAEntry]] = [
             [XTAEntry() for _ in range(ways)] for _ in range(num_sets)
         ]
+        #: One tag->entry dict per set: O(1) lookup/probe instead of the
+        #: ways-long linear scan.  Maintained by :meth:`allocate` and
+        #: :meth:`XTAEntry.clear` (through the entry's ``owner_map``).
+        self._tag_maps: List[Dict[int, XTAEntry]] = [
+            {} for _ in range(num_sets)
+        ]
+        for entries, tag_map in zip(self._sets, self._tag_maps):
+            for entry in entries:
+                entry.owner_map = tag_map
         self._clock = 0
         self.lookups = 0
         self.hits = 0
@@ -110,12 +126,11 @@ class XTA:
     def lookup(self, sector: int) -> Optional[XTAEntry]:
         """Return the entry holding ``sector`` (and refresh its LRU state)."""
         self.lookups += 1
-        for entry in self._sets[self.set_index(sector)]:
-            if entry.allocated and entry.tag == sector:
-                self.hits += 1
-                self._touch(entry)
-                return entry
-        return None
+        entry = self._tag_maps[sector % self.num_sets].get(sector)
+        if entry is not None:
+            self.hits += 1
+            self._touch(entry)
+        return entry
 
     def probe(self, sector: int) -> Optional[XTAEntry]:
         """Like :meth:`lookup` but without statistics or LRU update.
@@ -123,10 +138,7 @@ class XTA:
         Used by the NM allocator to check whether a candidate victim frame is
         currently linked into the DRAM cache (Section 3.5).
         """
-        for entry in self._sets[self.set_index(sector)]:
-            if entry.allocated and entry.tag == sector:
-                return entry
-        return None
+        return self._tag_maps[sector % self.num_sets].get(sector)
 
     def victim_way(self, sector: int) -> XTAEntry:
         """Return the entry to (re)use for ``sector``: an invalid way if one
@@ -141,6 +153,11 @@ class XTA:
                  fm_frame: Optional[int]) -> XTAEntry:
         """(Re)initialise ``entry`` for ``sector``; the caller has already
         dealt with the previous occupant."""
+        if entry.owner_map is not None and entry.tag >= 0:
+            entry.owner_map.pop(entry.tag, None)
+        tag_map = self._tag_maps[sector % self.num_sets]
+        tag_map[sector] = entry
+        entry.owner_map = tag_map
         entry.tag = sector
         entry.access_counter = 0
         entry.nm_frame = nm_frame

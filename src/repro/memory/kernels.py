@@ -1,0 +1,126 @@
+"""Inlined access kernels over the live device/controller state.
+
+:func:`make_kernels` compiles one :class:`~repro.memory.controller.MemoryController`
+into a pair of closures that replicate :meth:`MemoryController.access` and
+:meth:`MemoryController.transfer_block` without any method dispatch or
+:class:`~repro.common.DeviceAccess` allocation.  The design fast paths
+(``MemorySystem.fast_path``) are built from these kernels.
+
+The contract is *bit identity*: every float is produced by the same
+operations in the same order as the method chain
+``controller.access -> device.access -> bank/channel/energy/traffic``, and
+all state stays in the original objects (banks, channels, counters), so the
+kernels can interleave freely with the slow-path methods — evictions, swaps
+and interval migrations keep calling ``controller.access`` /
+``transfer_block`` and observe exactly the state the kernels left behind.
+``tests/test_fastpath.py`` pins the kernel against the method chain and
+``tests/test_engine_equivalence.py`` pins the full engine per design.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from ..common import LINE_SIZE
+from .controller import MemoryController
+
+#: Traffic classes accepted by the line kernel (mirrors the ``demand`` /
+#: ``metadata`` flags of :meth:`MemoryController.access`).
+KIND_DEMAND = 0
+KIND_BACKGROUND = 1
+KIND_METADATA = 2
+
+LineKernel = Callable[[int, bool, float, int], float]
+BlockKernel = Callable[[int, int, bool, float, bool], float]
+
+
+def make_kernels(controller: MemoryController) -> Tuple[LineKernel, BlockKernel]:
+    """Return ``(line_access, block_transfer)`` kernels for ``controller``.
+
+    ``line_access(address, is_write, now_ns, kind)`` issues one 64 B access
+    and returns its latency in ns (controller overhead included); ``kind``
+    selects the traffic class (:data:`KIND_DEMAND` / :data:`KIND_BACKGROUND`
+    / :data:`KIND_METADATA`).  ``block_transfer(address, nbytes, is_write,
+    now_ns, demand)`` streams a block as consecutive line bursts and returns
+    the latency of the first line (critical word first), exactly like
+    :meth:`MemoryController.transfer_block`.
+    """
+    device = controller.device
+    params = device.params
+    timings = device.timings
+    channels = device.channels
+    num_channels = params.channels
+    interleave = params.channel_interleave_bytes
+    row_bytes = params.row_bytes
+    banks_per_channel = params.banks_per_channel
+    banks_stride = num_channels * banks_per_channel
+    hit_ns = timings.row_hit_latency_ns()
+    empty_ns = timings.row_empty_latency_ns()
+    miss_ns = timings.row_miss_latency_ns()
+    burst_ns = timings.burst_ns(LINE_SIZE)
+    energy_counter = device.energy.counter
+    line_rw_pj = device.energy.rw_pj_per_bit * LINE_SIZE * 8
+    act_pre_pj = device.energy.act_pre_pj
+    traffic = device.traffic
+    overhead_ns = controller.CONTROLLER_OVERHEAD_NS
+
+    def line_access(address: int, is_write: bool, now_ns: float,
+                    kind: int) -> float:
+        channel = channels[(address // interleave) % num_channels]
+        row_global = address // row_bytes
+        bank = channel.banks[(row_global // num_channels) % banks_per_channel]
+        row = row_global // banks_stride
+
+        open_row = bank.open_row
+        if open_row is None:
+            array_latency = empty_ns
+            bank.activations += 1
+            energy_counter.act_pre_pj += act_pre_pj
+        elif open_row == row:
+            array_latency = hit_ns
+            bank.row_hits += 1
+        else:
+            array_latency = miss_ns
+            bank.row_misses += 1
+            bank.activations += 1
+            energy_counter.act_pre_pj += act_pre_pj
+        bank.open_row = row
+
+        ready = bank.ready_at_ns
+        if now_ns > ready:
+            ready = now_ns
+        data_ready = ready + array_latency
+        begin = channel.bus_free_at_ns
+        if data_ready > begin:
+            begin = data_ready
+        completion = begin + burst_ns
+        channel.bus_free_at_ns = completion
+        channel.busy_ns += burst_ns
+        bank.ready_at_ns = completion
+
+        energy_counter.rw_pj += line_rw_pj
+        if is_write:
+            traffic.write_bytes += LINE_SIZE
+            device.writes += 1
+        else:
+            traffic.read_bytes += LINE_SIZE
+            device.reads += 1
+        if kind == 0:
+            controller.demand_bytes += LINE_SIZE
+        elif kind == 1:
+            controller.background_bytes += LINE_SIZE
+        else:
+            controller.metadata_bytes += LINE_SIZE
+        return (completion - now_ns) + overhead_ns
+
+    def block_transfer(address: int, nbytes: int, is_write: bool,
+                       now_ns: float, demand: bool) -> float:
+        lines = max(1, nbytes // LINE_SIZE)
+        first = line_access(address, is_write, now_ns,
+                            KIND_DEMAND if demand else KIND_BACKGROUND)
+        for i in range(1, lines):
+            line_access(address + i * LINE_SIZE, is_write, now_ns,
+                        KIND_BACKGROUND)
+        return first
+
+    return line_access, block_transfer

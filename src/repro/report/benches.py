@@ -610,21 +610,30 @@ def run_perf(ctx: ReportContext) -> BenchResult:
     payload = perfbench.run_benchmark(refs=ctx.perf_refs,
                                       repeat=ctx.perf_repeat)
     fast, gen = payload["fast_path"], payload["generator"]
+    summary_rows = [
+        ["simulate() fast path", round(fast["refs_per_sec"]),
+         round(fast["seed_refs_per_sec"]), round(fast["speedup"], 2)],
+        ["trace generator", round(gen["records_per_sec"]),
+         round(gen["seed_records_per_sec"]), round(gen["speedup"], 2)],
+    ]
+    small = payload.get("fast_path_small")
+    if small:
+        summary_rows.append(
+            [f"fast path ({payload['small_refs']} refs)",
+             round(small["refs_per_sec"]), round(small["seed_refs_per_sec"]),
+             round(small["speedup"], 2)])
     summary_table = Table(
         title=f"Engine throughput ({payload['refs']} refs, workload "
               f"{payload['workload']}, best of {payload['repeat']})",
         columns=["path", "current /s", "seed engine /s", "speedup"],
-        rows=[
-            ["simulate() fast path", round(fast["refs_per_sec"]),
-             round(fast["seed_refs_per_sec"]), round(fast["speedup"], 2)],
-            ["trace generator", round(gen["records_per_sec"]),
-             round(gen["seed_records_per_sec"]), round(gen["speedup"], 2)],
-        ],
+        rows=summary_rows,
         slug="engine")
     design_table = Table(
-        title="End-to-end refs/sec per design (machine-dependent)",
-        columns=["design", "refs/s"],
-        rows=[[label, round(rate)]
+        title="Per-design refs/sec: batch fast path vs seed engine "
+              "(rates machine-dependent, speedups gated)",
+        columns=["design", "refs/s", "seed refs/s", "speedup"],
+        rows=[[label, round(rate["refs_per_sec"]),
+               round(rate["seed_refs_per_sec"]), round(rate["speedup"], 2)]
               for label, rate in payload["designs"].items()],
         slug="designs", chart="bar", y_label="refs/s")
     return BenchResult(name="perf", tables=[summary_table, design_table],
@@ -638,6 +647,10 @@ def check_perf(result: BenchResult) -> None:
     if payload["refs"] >= 20_000:
         assert payload["fast_path"]["speedup"] >= 3.5
         assert payload["generator"]["speedup"] >= 5.0
+        for label, rate in payload.get("designs", {}).items():
+            assert rate["speedup"] >= 1.5, (
+                f"{label} fast path too close to the seed engine: "
+                f"{rate['speedup']:.2f}x")
 
 
 register(BenchSpec(

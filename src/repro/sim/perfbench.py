@@ -3,7 +3,7 @@
 The paper's design-space sweeps are throughput-bound on
 :func:`~repro.sim.simulator.simulate`; this module measures that throughput
 and tracks it over time in ``BENCH_engine.json`` so perf regressions are
-caught like correctness regressions.  Three numbers are measured:
+caught like correctness regressions.  Four sections are measured:
 
 * **fast path** — ``simulate()`` end to end (trace generation + columnar
   driver + interval-core model) against a fixed-latency
@@ -14,12 +14,19 @@ caught like correctness regressions.  Three numbers are measured:
   process) and is what the CI regression gate compares.
 * **generator** — :func:`~repro.workloads.synthetic.generate_trace` alone,
   vectorized vs the seed per-record loop.
-* **designs** — end-to-end refs/sec of each catalog design on a
-  representative workload with the current engine (the raw trajectory;
-  machine-dependent, reported but not gated).
+* **designs** — end-to-end refs/sec of each catalog design through its
+  batch fast path vs the same design through the preserved seed engine.
+  The raw refs/sec trajectory is machine-dependent (reported, not gated);
+  the per-design ``speedup`` ratio is measured in-process and gated by the
+  CI perf matrix, one design per job.
+* **fast path (small)** — the fast-path measurement again at a small
+  reference count (default 2000), pinning the short-trace regime where
+  column-materialization overhead must stay amortized.
 
 Run it with ``python -m repro bench`` (see the CLI) or via
-``benchmarks/bench_perf_engine.py``.
+``benchmarks/bench_perf_engine.py``.  ``python -m repro bench
+--update-baseline`` regenerates the checked-in baseline after an
+intentional perf change.
 """
 
 from __future__ import annotations
@@ -40,8 +47,16 @@ from . import legacy
 from .simulator import simulate
 from ..workloads import synthetic
 
-#: Bump when the report layout changes.
-BENCH_SCHEMA = 1
+#: Bump when the report layout changes.  Schema 2 turned each ``designs``
+#: value from a bare refs/sec float into a ``{refs_per_sec,
+#: seed_refs_per_sec, speedup}`` dict and added the ``fast_path_small``
+#: section; :func:`compare_to_baseline` still reads schema-1 baselines.
+BENCH_SCHEMA = 2
+
+#: Reference count of the ``fast_path_small`` section: small enough that a
+#: fixed per-run overhead (column materialization, kernel compilation)
+#: would dominate if it ever stopped amortizing.
+SMALL_REFS = 2_000
 
 #: Default location of the tracked report, relative to the working dir.
 DEFAULT_REPORT = "BENCH_engine.json"
@@ -112,24 +127,45 @@ def measure_generator(workload: str, refs: int,
 
 def measure_designs(config: SystemConfig, designs: Sequence[str],
                     workload: str, refs: int,
-                    repeat: int) -> Dict[str, float]:
-    """End-to-end refs/sec per design with the current engine."""
+                    repeat: int) -> Dict[str, Dict[str, float]]:
+    """Per-design refs/sec through the batch fast path vs the seed engine.
+
+    Both rates run the *same* design model in the same process, so their
+    ratio isolates the engine (columnar driver + vectorized kernels vs the
+    per-record loop) and is stable across machines — it is what the CI
+    per-design matrix gates.
+    """
     spec = get_workload(workload)
-    rates = {}
+    rates: Dict[str, Dict[str, float]] = {}
     for label in designs:
         factory = DESIGN_FACTORIES[label.upper()]
-        rates[label.upper()] = _rate(
+        new_rate = _rate(
             lambda factory=factory: simulate(factory(config), spec,
                                              num_references=refs, seed=1),
             refs, repeat)
+        seed_rate = _rate(
+            lambda factory=factory: legacy.simulate_reference(
+                factory(config), spec, num_references=refs, seed=1),
+            refs, repeat)
+        rates[label.upper()] = {"refs_per_sec": new_rate,
+                                "seed_refs_per_sec": seed_rate,
+                                "speedup": new_rate / seed_rate}
     return rates
 
 
 def run_benchmark(*, refs: int = 60_000, workload: str = "mcf",
                   repeat: int = 3,
                   designs: Optional[Sequence[str]] = None,
-                  config: Optional[SystemConfig] = None) -> dict:
-    """Measure everything and return the ``BENCH_engine.json`` payload."""
+                  config: Optional[SystemConfig] = None,
+                  engine: bool = True,
+                  small_refs: int = SMALL_REFS) -> dict:
+    """Measure everything and return the ``BENCH_engine.json`` payload.
+
+    ``designs=[]`` skips the per-design section; ``engine=False`` skips the
+    engine sections (fast path, generator, small-trace fast path).  The CI
+    matrix uses those switches to split the measurement across jobs; the
+    default measures everything.
+    """
     config = config or make_config(nm_gb=1, fm_gb=16, scale=256)
     if designs is None:
         designs = list(DESIGN_FACTORIES)
@@ -145,29 +181,54 @@ def run_benchmark(*, refs: int = 60_000, workload: str = "mcf",
             "numpy": np.__version__,
             "machine": platform.machine(),
         },
-        "fast_path": measure_fast_path(config, workload, refs, repeat),
-        "generator": measure_generator(workload, refs, repeat),
-        "designs": measure_designs(config, designs, workload, refs, repeat),
     }
+    if engine:
+        payload["fast_path"] = measure_fast_path(config, workload, refs,
+                                                 repeat)
+        payload["generator"] = measure_generator(workload, refs, repeat)
+        if 0 < small_refs < refs:
+            payload["small_refs"] = small_refs
+            payload["fast_path_small"] = measure_fast_path(
+                config, workload, small_refs, repeat)
+    if designs:
+        payload["designs"] = measure_designs(config, designs, workload,
+                                             refs, repeat)
     return payload
 
 
 def render_report(payload: dict) -> str:
     """Human-readable rendering of a benchmark payload."""
-    fast = payload["fast_path"]
-    gen = payload["generator"]
     lines = [
         f"engine benchmark ({payload['refs']} refs, workload "
         f"{payload['workload']}, best of {payload['repeat']})",
-        f"  fast path  {fast['refs_per_sec']:>12,.0f} refs/s   "
-        f"(seed {fast['seed_refs_per_sec']:,.0f}, "
-        f"speedup {fast['speedup']:.2f}x)",
-        f"  generator  {gen['records_per_sec']:>12,.0f} recs/s   "
-        f"(seed {gen['seed_records_per_sec']:,.0f}, "
-        f"speedup {gen['speedup']:.2f}x)",
     ]
-    for label, rate in payload["designs"].items():
-        lines.append(f"  {label:<10s} {rate:>12,.0f} refs/s")
+    fast = payload.get("fast_path")
+    if fast:
+        lines.append(
+            f"  fast path  {fast['refs_per_sec']:>12,.0f} refs/s   "
+            f"(seed {fast['seed_refs_per_sec']:,.0f}, "
+            f"speedup {fast['speedup']:.2f}x)")
+    gen = payload.get("generator")
+    if gen:
+        lines.append(
+            f"  generator  {gen['records_per_sec']:>12,.0f} recs/s   "
+            f"(seed {gen['seed_records_per_sec']:,.0f}, "
+            f"speedup {gen['speedup']:.2f}x)")
+    small = payload.get("fast_path_small")
+    if small:
+        lines.append(
+            f"  fast path  {small['refs_per_sec']:>12,.0f} refs/s   "
+            f"(seed {small['seed_refs_per_sec']:,.0f}, "
+            f"speedup {small['speedup']:.2f}x)  "
+            f"[{payload.get('small_refs', SMALL_REFS)} refs]")
+    for label, rate in payload.get("designs", {}).items():
+        if isinstance(rate, dict):           # schema >= 2
+            lines.append(
+                f"  {label:<10s} {rate['refs_per_sec']:>12,.0f} refs/s   "
+                f"(seed {rate['seed_refs_per_sec']:,.0f}, "
+                f"speedup {rate['speedup']:.2f}x)")
+        else:                                # schema 1 payloads
+            lines.append(f"  {label:<10s} {rate:>12,.0f} refs/s")
     return "\n".join(lines)
 
 
@@ -182,16 +243,28 @@ def compare_to_baseline(payload: dict, baseline: dict,
     """
     failures = []
     floor = 1.0 - max_regression
-    for section, metric in (("fast_path", "speedup"),
-                            ("generator", "speedup")):
-        base = baseline.get(section, {}).get(metric)
-        current = payload.get(section, {}).get(metric)
+
+    def check(label: str, current, base) -> None:
         if base is None or current is None:
-            continue
+            return
         if current < base * floor:
             failures.append(
-                f"{section} {metric} regressed: {current:.2f}x vs baseline "
+                f"{label} speedup regressed: {current:.2f}x vs baseline "
                 f"{base:.2f}x (floor {base * floor:.2f}x)")
+
+    for section in ("fast_path", "fast_path_small", "generator"):
+        check(section,
+              payload.get(section, {}).get("speedup"),
+              baseline.get(section, {}).get("speedup"))
+    base_designs = baseline.get("designs", {})
+    for label, rate in payload.get("designs", {}).items():
+        base_rate = base_designs.get(label)
+        if not isinstance(rate, dict) or not isinstance(base_rate, dict):
+            # Schema-1 payloads stored bare refs/sec floats, which are
+            # machine-dependent — never gate on those.
+            continue
+        check(f"design {label}", rate.get("speedup"),
+              base_rate.get("speedup"))
     return failures
 
 

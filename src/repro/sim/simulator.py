@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from itertools import islice, repeat
+from itertools import count, islice, repeat
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -174,30 +174,46 @@ def simulate(system: MemorySystem,
     # one reference per live core per pass, cores in index order; for the
     # common equal-length case that is a plain numpy column interleave.
     # Columns become Python lists because native ints/bools iterate several
-    # times faster than numpy scalars in a Python loop.
+    # times faster than numpy scalars in a Python loop.  The address column
+    # is kept as one int64 array as well: it is what ``system.fast_path``
+    # vectorizes its per-design precomputation over.
     if n_cores and lengths.count(lengths[0]) == n_cores:
         per_core = lengths[0]
         if n_cores == 1:
             trace = traces[0]
-            stream = zip(repeat(0, per_core), trace.gaps.tolist(),
-                         trace.addresses.tolist(), trace.is_write.tolist())
+            core_col = repeat(0, per_core)
+            gap_col = trace.gaps.tolist()
+            addr_arr = trace.addresses
+            write_col = trace.is_write.tolist()
         else:
-            stream = zip(
-                list(range(n_cores)) * per_core,
-                np.stack([t.gaps for t in traces], axis=1).ravel().tolist(),
-                np.stack([t.addresses for t in traces],
-                         axis=1).ravel().tolist(),
-                np.stack([t.is_write for t in traces],
-                         axis=1).ravel().tolist())
+            core_col = list(range(n_cores)) * per_core
+            gap_col = np.stack([t.gaps for t in traces],
+                               axis=1).ravel().tolist()
+            addr_arr = np.stack([t.addresses for t in traces],
+                                axis=1).ravel()
+            write_col = np.stack([t.is_write for t in traces],
+                                 axis=1).ravel().tolist()
     else:
         gap_cols = [t.gaps.tolist() for t in traces]
         addr_cols = [t.addresses.tolist() for t in traces]
         write_cols = [t.is_write.tolist() for t in traces]
-        stream = iter([
-            (idx, gap_cols[idx][pos], addr_cols[idx][pos],
-             write_cols[idx][pos])
-            for pos in range(max(lengths, default=0))
-            for idx in range(n_cores) if pos < lengths[idx]])
+        order = [(idx, pos)
+                 for pos in range(max(lengths, default=0))
+                 for idx in range(n_cores) if pos < lengths[idx]]
+        core_col = [idx for idx, _ in order]
+        gap_col = [gap_cols[idx][pos] for idx, pos in order]
+        addr_arr = np.asarray([addr_cols[idx][pos] for idx, pos in order],
+                              dtype=np.int64)
+        write_col = [write_cols[idx][pos] for idx, pos in order]
+
+    # Designs that expose a batch operator get the whole address column at
+    # once and return a per-reference step closure; everything else (and the
+    # empty run) goes through the per-reference ``access`` loop.
+    fast_step = system.fast_path(addr_arr) if total_records else None
+    if fast_step is None:
+        stream = zip(core_col, gap_col, addr_arr.tolist(), write_col)
+    else:
+        stream = zip(count(), core_col, gap_col, write_col)
 
     # Per-core mutable state, shared with the IntervalCore objects where it
     # can be (the outstanding-miss windows) and written back at the end.
@@ -217,13 +233,23 @@ def simulate(system: MemorySystem,
     # a per-reference warmup branch.
     cycles_offset = 0.0
     instruction_offset = 0
-    if warmup_records:
-        _drive_columns(islice(stream, warmup_records), system, state, params,
-                       llc_latency_cycles)
-        system.reset_measurement()
-        cycles_offset = max(time_cycles)
-        instruction_offset = sum(instructions)
-    _drive_columns(stream, system, state, params, llc_latency_cycles)
+    if fast_step is None:
+        if warmup_records:
+            _drive_columns(islice(stream, warmup_records), system, state,
+                           params, llc_latency_cycles)
+            system.reset_measurement()
+            cycles_offset = max(time_cycles)
+            instruction_offset = sum(instructions)
+        _drive_columns(stream, system, state, params, llc_latency_cycles)
+    else:
+        if warmup_records:
+            _drive_columns_fast(islice(stream, warmup_records), fast_step,
+                                state, params, llc_latency_cycles)
+            system.reset_measurement()
+            cycles_offset = max(time_cycles)
+            instruction_offset = sum(instructions)
+        _drive_columns_fast(stream, fast_step, state, params,
+                            llc_latency_cycles)
     references = total_records - warmup_records
 
     for idx, core in enumerate(cores):
@@ -280,6 +306,55 @@ def _drive_columns(stream, system: MemorySystem, state: tuple,
             now += llc_cycles
             sram_cycles[idx] += llc_cycles
         latency_cycles = outcome.latency_ns * ghz
+        window = outstanding[idx]
+        while window and instruction_now - window[0] > rob_window:
+            window.popleft()
+        while len(window) >= max_outstanding:
+            window.popleft()
+        exposed = latency_cycles / (len(window) + 1)
+        window.append(instruction_now)
+        stall_cycles[idx] += exposed
+        time_cycles[idx] = now + exposed
+
+
+def _drive_columns_fast(stream, step, state: tuple, params,
+                        llc_cycles: float) -> None:
+    """Variant of :func:`_drive_columns` for systems with a compiled
+    :meth:`~repro.baselines.base.MemorySystem.fast_path` step.
+
+    The stream carries ``(i, core, gap, is_write)`` tuples — the address is
+    already baked into the step closure's precomputed columns, indexed by
+    ``i`` — and the step returns the latency directly, skipping the
+    ``AccessOutcome`` allocation of the slow path.  The timing arithmetic is
+    byte-for-byte the same as :func:`_drive_columns`.
+    """
+    (time_cycles, instructions, memory_references, llc_misses,
+     compute_cycles, sram_cycles, stall_cycles, outstanding) = state
+    issue_width = params.issue_width
+    cycle_ns = params.cycle_ns
+    ghz = params.frequency_ghz
+    rob_window = params.rob_size
+    max_outstanding = params.max_outstanding_misses
+
+    for i, idx, gap, is_write in stream:
+        now = time_cycles[idx]
+        if gap > 0:
+            cycles = gap / issue_width
+            now += cycles
+            instructions[idx] += gap
+            compute_cycles[idx] += cycles
+
+        latency_ns = step(i, is_write, now * cycle_ns)
+
+        # IntervalCore.memory_miss, inlined.
+        memory_references[idx] += 1
+        instruction_now = instructions[idx] + 1
+        instructions[idx] = instruction_now
+        llc_misses[idx] += 1
+        if llc_cycles:
+            now += llc_cycles
+            sram_cycles[idx] += llc_cycles
+        latency_cycles = latency_ns * ghz
         window = outstanding[idx]
         while window and instruction_now - window[0] > rob_window:
             window.popleft()

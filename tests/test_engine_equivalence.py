@@ -19,9 +19,12 @@ from repro.workloads.synthetic import (WorkloadSpec, generate_multiprogrammed,
 
 CONFIG = make_config(nm_gb=1, fm_gb=16, scale=256)
 REFS = 2500
-#: One high-MPKI SPEC (multi-programmed, split footprint) and one NAS
-#: (multi-threaded, shared footprint) workload.
-GOLDEN_WORKLOADS = ("mcf", "cg.D")
+#: One high-MPKI SPEC (multi-programmed, split footprint), one NAS
+#: (multi-threaded, shared footprint) and one low-spatial-locality workload
+#: (``omnetpp`` stresses the over-fetch paths of the page-granular caches).
+GOLDEN_WORKLOADS = ("mcf", "cg.D", "omnetpp")
+#: Two trace seeds so the pinning covers different address/interleave mixes.
+GOLDEN_SEEDS = (2, 11)
 
 
 def assert_identical(result, reference):
@@ -59,16 +62,19 @@ def test_generate_multiprogrammed_matches_seed_generator():
 
 
 # ---------------------------------------------------------------------------
-# full-engine equivalence, every design in the sweep catalog
+# full-engine equivalence, every design in the sweep catalog, over a
+# workloads x seeds matrix (the design fast paths must be bit-identical to
+# the seed per-record engine on every one of them)
 # ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
 @pytest.mark.parametrize("workload", GOLDEN_WORKLOADS)
 @pytest.mark.parametrize("design", sorted(DESIGN_FACTORIES))
-def test_run_result_counters_identical(design, workload):
+def test_run_result_counters_identical(design, workload, seed):
     spec = get_workload(workload)
     factory = DESIGN_FACTORIES[design]
-    result = simulate(factory(CONFIG), spec, num_references=REFS, seed=2)
+    result = simulate(factory(CONFIG), spec, num_references=REFS, seed=seed)
     reference = legacy.simulate_reference(factory(CONFIG), spec,
-                                          num_references=REFS, seed=2)
+                                          num_references=REFS, seed=seed)
     assert_identical(result, reference)
 
 

@@ -22,15 +22,38 @@ def test_null_memory_system_isolates_the_engine():
 
 
 def test_run_benchmark_payload_shape():
-    payload = perfbench.run_benchmark(refs=300, repeat=1, designs=["BASELINE"])
+    payload = perfbench.run_benchmark(refs=300, repeat=1, designs=["BASELINE"],
+                                      small_refs=100)
     assert payload["schema"] == perfbench.BENCH_SCHEMA
     assert payload["fast_path"]["refs_per_sec"] > 0
     assert payload["fast_path"]["speedup"] > 0
+    assert payload["fast_path_small"]["speedup"] > 0
+    assert payload["small_refs"] == 100
     assert payload["generator"]["speedup"] > 0
     assert set(payload["designs"]) == {"BASELINE"}
+    design = payload["designs"]["BASELINE"]
+    assert design["refs_per_sec"] > 0
+    assert design["seed_refs_per_sec"] > 0
+    assert design["speedup"] > 0
     assert "python" in payload["environment"]
     rendered = perfbench.render_report(payload)
     assert "fast path" in rendered and "BASELINE" in rendered
+
+
+def test_run_benchmark_section_switches():
+    engine_only = perfbench.run_benchmark(refs=200, repeat=1, designs=[])
+    assert "designs" not in engine_only
+    assert "fast_path" in engine_only
+    designs_only = perfbench.run_benchmark(refs=200, repeat=1,
+                                           designs=["BASELINE"], engine=False)
+    assert "fast_path" not in designs_only
+    assert "fast_path_small" not in designs_only
+    assert set(designs_only["designs"]) == {"BASELINE"}
+    # A small-refs count at or above refs would duplicate the main
+    # measurement, so it is skipped.
+    no_small = perfbench.run_benchmark(refs=200, repeat=1, designs=[],
+                                       small_refs=200)
+    assert "fast_path_small" not in no_small
 
 
 def test_compare_to_baseline_gates_on_speedup_ratio():
@@ -46,12 +69,43 @@ def test_compare_to_baseline_gates_on_speedup_ratio():
     assert perfbench.compare_to_baseline({}, ok_base) == []
 
 
+def test_compare_to_baseline_gates_per_design():
+    current = {"designs": {"MPOD": {"refs_per_sec": 1.0,
+                                    "seed_refs_per_sec": 1.0,
+                                    "speedup": 2.0},
+                           "LGM": {"refs_per_sec": 1.0,
+                                   "seed_refs_per_sec": 1.0,
+                                   "speedup": 3.0}}}
+    baseline = {"designs": {"MPOD": {"speedup": 3.0},
+                            "LGM": {"speedup": 3.0}}}
+    failures = perfbench.compare_to_baseline(current, baseline,
+                                             max_regression=0.30)
+    assert len(failures) == 1 and "MPOD" in failures[0]
+    # fast_path_small participates in the gate like the other sections.
+    failures = perfbench.compare_to_baseline(
+        {"fast_path_small": {"speedup": 1.0}},
+        {"fast_path_small": {"speedup": 5.0}})
+    assert len(failures) == 1 and "fast_path_small" in failures[0]
+
+
+def test_compare_to_baseline_skips_schema1_design_floats():
+    """Schema-1 baselines stored machine-dependent refs/sec floats for the
+    designs — those must never gate."""
+    current = {"designs": {"MPOD": {"speedup": 1.0}}}
+    old_baseline = {"designs": {"MPOD": 123456.0}}
+    assert perfbench.compare_to_baseline(current, old_baseline) == []
+    # And vice versa: a schema-1 payload against a schema-2 baseline.
+    assert perfbench.compare_to_baseline(
+        {"designs": {"MPOD": 1.0}},
+        {"designs": {"MPOD": {"speedup": 9.0}}}) == []
+
+
 def test_bench_cli_writes_report_and_gates(tmp_path, capsys):
     out = tmp_path / "BENCH_engine.json"
     assert main(["bench", "--refs", "300", "--repeat", "1", "--no-designs",
-                 "--out", str(out)]) == 0
+                 "--small-refs", "0", "--out", str(out)]) == 0
     payload = json.loads(out.read_text())
-    assert payload["designs"] == {}
+    assert "designs" not in payload
     assert payload["fast_path"]["refs_per_sec"] > 0
 
     # A baseline with absurd speedups must trip the regression gate ...
@@ -60,13 +114,30 @@ def test_bench_cli_writes_report_and_gates(tmp_path, capsys):
     baseline = tmp_path / "baseline.json"
     baseline.write_text(json.dumps(impossible))
     assert main(["bench", "--refs", "300", "--repeat", "1", "--no-designs",
-                 "--baseline", str(baseline)]) == 1
+                 "--small-refs", "0", "--baseline", str(baseline)]) == 1
     assert "PERF REGRESSION" in capsys.readouterr().err
 
-    # ... while gating against this run's own numbers passes.
+    # ... while gating against this run's own numbers passes.  The two runs
+    # are independent 300-ref measurements, so allow for timer noise that a
+    # real (repeat>=3, refs>=60k) gate would average away.
     baseline.write_text(json.dumps(payload))
     assert main(["bench", "--refs", "300", "--repeat", "1", "--no-designs",
+                 "--small-refs", "0", "--max-regression", "0.75",
                  "--baseline", str(baseline)]) == 0
+
+
+def test_bench_cli_update_baseline(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    assert main(["bench", "--refs", "200", "--repeat", "1",
+                 "--designs", "BASELINE", "--no-engine",
+                 "--baseline", str(baseline), "--update-baseline"]) == 0
+    payload = json.loads(baseline.read_text())
+    assert set(payload["designs"]) == {"BASELINE"}
+    assert payload["designs"]["BASELINE"]["speedup"] > 0
+    # --update-baseline without --baseline is a usage error.
+    with pytest.raises(SystemExit):
+        main(["bench", "--refs", "200", "--repeat", "1", "--no-designs",
+              "--update-baseline"])
 
 
 @pytest.mark.slow
@@ -76,3 +147,15 @@ def test_fast_path_speedup_is_substantial():
     payload = perfbench.run_benchmark(refs=20_000, repeat=2, designs=[])
     assert payload["fast_path"]["speedup"] >= 3.0
     assert payload["generator"]["speedup"] >= 5.0
+    assert payload["fast_path_small"]["speedup"] >= 1.5
+
+
+@pytest.mark.slow
+def test_design_fast_paths_beat_seed_engine():
+    """Every design's batch fast path must clear its own seed-engine rate;
+    the checked-in baseline pins the per-design ratios harder."""
+    payload = perfbench.run_benchmark(refs=8_000, repeat=2, engine=False)
+    for label, rate in payload["designs"].items():
+        assert rate["speedup"] >= 1.3, (
+            f"{label} fast path barely beats the seed engine: "
+            f"{rate['speedup']:.2f}x")
