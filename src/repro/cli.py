@@ -30,7 +30,9 @@ Subcommands:
   docstrings; ``--check`` fails when the page drifted from the code.
 * ``designs`` — list the design registry (paper labels).
 * ``workloads`` — list the Table 2 workload catalog.
-* ``store`` — inspect or clear the result store.
+* ``store`` — inspect or clear the result store; ``store fsck`` verifies
+  every cell's checksum, quarantines corruption (``--repair`` re-simulates
+  from the embedded job specs) and reaps orphaned temp files.
 """
 
 from __future__ import annotations
@@ -43,7 +45,7 @@ from typing import List, Optional, Sequence
 from .baselines import DESIGN_FACTORIES, EVALUATED_DESIGNS
 from .sim.runner import ExperimentRunner
 from .sim.store import ResultStore, default_store_root
-from .sim.sweep import DesignRef
+from .sim.sweep import DesignRef, SweepExecutionError
 from .workloads.catalog import (MPKI_CLASSES, WORKLOADS, get_workload,
                                 representative_workloads, workloads_by_class)
 
@@ -81,6 +83,13 @@ def _parse_designs(tokens: Sequence[str]) -> List[DesignRef]:
         if "=" in token:
             label, _, token = token.partition("=")
         refs.append(DesignRef.of(token, label=label))
+    # Fail fast on registry typos here: under the fault-tolerant engine an
+    # unknown label would otherwise be retried and degrade to a JobFailure
+    # per job instead of an immediate usage error.
+    for ref in refs:
+        if ":" not in ref.target and ref.target.upper() not in DESIGN_FACTORIES:
+            raise KeyError(f"unknown design {ref.target!r}; known: "
+                           f"{sorted(DESIGN_FACTORIES)}")
     return refs
 
 
@@ -114,6 +123,19 @@ def _add_sweep_parser(sub: argparse._SubParsersAction) -> None:
                    help="skip the no-NM baseline runs (no speedups)")
     p.add_argument("--out", default=None, metavar="FILE",
                    help="write the full sweep as JSON")
+    p.add_argument("--strict", action="store_true",
+                   help="fail fast on the first exhausted job instead of "
+                        "degrading to partial results")
+    p.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                   help="attempts per job before it is recorded as failed "
+                        "(default REPRO_SWEEP_MAX_ATTEMPTS or 3)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-job wall-clock timeout; hung workers are "
+                        "killed and the job retried (default "
+                        "REPRO_SWEEP_TIMEOUT; 0 disables)")
+    p.add_argument("--backoff", type=float, default=None, metavar="SECONDS",
+                   help="base retry delay, doubled per attempt (default "
+                        "REPRO_SWEEP_BACKOFF or 0.5)")
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -125,7 +147,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     store = None if args.no_store else ResultStore(args.store)
     runner = ExperimentRunner(num_references=args.refs, scale=args.scale,
                               fm_gb=args.fm_gb, seed=args.seed,
-                              workers=args.workers, store=store)
+                              workers=args.workers, store=store,
+                              strict=args.strict,
+                              max_attempts=args.max_attempts,
+                              timeout=args.timeout, backoff=args.backoff)
     result = runner.sweep(designs, workloads, nm_gb=args.nm_gb,
                           baselines=not args.no_baselines)
     report = runner.last_report
@@ -134,7 +159,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
           f"workers {args.workers})")
     if report is not None:
         print(f"jobs: {report.total} total, {report.simulated} simulated, "
-              f"{report.cached} from store")
+              f"{report.cached} from store"
+              + (f", {report.failed} FAILED ({report.attempts} attempts)"
+                 if report.failures else ""))
+        for failure in report.failures:
+            print(f"FAILED: {failure.describe()}", file=sys.stderr)
     if not args.no_baselines:
         for design in result.design_labels():
             by_class = result.class_speedups(design)
@@ -146,7 +175,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.out, "w") as handle:
             json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
         print(f"wrote {args.out}")
-    return 0
+    return 1 if result.failures else 0
 
 
 def _add_bench_parser(sub: argparse._SubParsersAction) -> None:
@@ -269,6 +298,10 @@ def _add_report_parser(sub: argparse._SubParsersAction) -> None:
                    help="artifact directory (default artifacts/)")
     p.add_argument("--gallery", default=None, metavar="FILE",
                    help="gallery path (default EXPERIMENTS.md)")
+    p.add_argument("--strict", action="store_true",
+                   help="fail fast: re-raise the first bench failure "
+                        "instead of writing a failure artifact and "
+                        "continuing (also REPRO_STRICT=1)")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -281,7 +314,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 0
     settings = ReportSettings.from_env(
         refs=args.refs, per_class=args.per_class, scale=args.scale,
-        seed=args.seed, workers=args.workers, store=args.store)
+        seed=args.seed, workers=args.workers, store=args.store,
+        strict=args.strict or None)
     if args.no_store:
         settings.store = None
     summary = generate_report(
@@ -298,7 +332,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
           f"({summary['flagged']} deviation(s) beyond tolerance)")
     for bench, error in summary["check_failures"].items():
         print(f"SANITY CHECK FAILED [{bench}]: {error}", file=sys.stderr)
-    return 1 if summary["check_failures"] else 0
+    for bench, error in summary["failed"].items():
+        print(f"BENCH FAILED [{bench}]: {error}", file=sys.stderr)
+    return 1 if summary["check_failures"] or summary["failed"] else 0
 
 
 def _add_apidoc_parser(sub: argparse._SubParsersAction) -> None:
@@ -346,11 +382,28 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 def _cmd_store(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
+    if args.action == "fsck":
+        report = store.fsck(repair=args.repair,
+                            quarantine=not args.no_quarantine,
+                            reap_tmp=not args.keep_tmp)
+        print(report.summary())
+        for issue in report.issues:
+            detail = issue.status
+            if issue.repaired:
+                detail += ", repaired"
+            elif issue.quarantined_to is not None:
+                detail += f", quarantined to {issue.quarantined_to}"
+            if issue.error:
+                detail += f" ({issue.error})"
+            print(f"  {issue.key}: {detail}", file=sys.stderr)
+        return 0 if report.clean else 1
     if args.clear:
         removed = store.clear()
         print(f"removed {removed} cached results from {store.root}")
     else:
-        print(f"store {store.root}: {len(store)} cached results")
+        tmp = len(store.tmp_files())
+        print(f"store {store.root}: {len(store)} cached results"
+              + (f", {tmp} orphaned tmp file(s)" if tmp else ""))
     return 0
 
 
@@ -368,9 +421,23 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="list the Table 2 workload catalog")
     p_workloads.add_argument("--class", dest="mpki_class", default=None,
                              choices=MPKI_CLASSES)
-    p_store = sub.add_parser("store", help="inspect or clear the result store")
+    p_store = sub.add_parser("store",
+                             help="inspect, clear or fsck the result store")
+    p_store.add_argument("action", nargs="?", default=None,
+                         choices=("fsck",),
+                         help="fsck: verify every cell's checksum, "
+                              "quarantine corruption, report orphans")
     p_store.add_argument("--store", default=None, metavar="DIR")
     p_store.add_argument("--clear", action="store_true")
+    p_store.add_argument("--repair", action="store_true",
+                         help="fsck: re-simulate corrupted cells from their "
+                              "embedded job specs")
+    p_store.add_argument("--no-quarantine", action="store_true",
+                         help="fsck: leave corrupted cells in place instead "
+                              "of moving them to quarantine/")
+    p_store.add_argument("--keep-tmp", action="store_true",
+                         help="fsck: report stale tmp files without "
+                              "deleting them")
     return parser
 
 
@@ -387,6 +454,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except SweepExecutionError as exc:
+        # --strict fail-fast: the first exhausted job aborts the command.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except (KeyError, ValueError) as exc:
         # Unknown designs/workloads and malformed options raise with a
         # message that already names the valid choices.

@@ -15,13 +15,15 @@ benches under ``benchmarks/``, so both harnesses execute identical bench
 definitions.
 """
 
-from .artifacts import (ARTIFACT_FORMAT, artifact_path, load_artifact,
-                        result_from_artifact, status_of, write_artifact)
+from .artifacts import (ARTIFACT_FORMAT, STATUS_FAILED, artifact_path,
+                        load_artifact, result_from_artifact, status_of,
+                        write_artifact, write_failure_artifact)
 from .context import ReportContext
 from .pipeline import (DEFAULT_GALLERY, DEFAULT_OUT_DIR, DEFAULT_STORE,
                        BenchOutcome, ReportSettings, generate_report,
                        rebuild_gallery, resolve_benches, run_bench,
-                       store_path_from_env, workers_from_env)
+                       run_bench_guarded, store_path_from_env,
+                       workers_from_env)
 from .registry import (REGISTRY, BenchResult, BenchSpec, Expectation, Table,
                        all_benches, get_bench)
 
@@ -37,6 +39,7 @@ __all__ = [
     "REGISTRY",
     "ReportContext",
     "ReportSettings",
+    "STATUS_FAILED",
     "Table",
     "all_benches",
     "artifact_path",
@@ -47,8 +50,10 @@ __all__ = [
     "resolve_benches",
     "result_from_artifact",
     "run_bench",
+    "run_bench_guarded",
     "status_of",
     "store_path_from_env",
     "workers_from_env",
     "write_artifact",
+    "write_failure_artifact",
 ]

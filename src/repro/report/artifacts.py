@@ -28,6 +28,11 @@ def artifact_path(out_dir: Union[str, Path], spec: BenchSpec) -> Path:
     return Path(out_dir) / f"{spec.name}.json"
 
 
+#: Status of a bench whose run itself raised (see
+#: :func:`write_failure_artifact`); ranks above every other status.
+STATUS_FAILED = "failed"
+
+
 def status_of(deviations: List[Dict[str, Any]],
               check_error: Optional[str] = None) -> str:
     """Aggregate bench status: ``check-failed`` > ``deviates`` >
@@ -62,6 +67,32 @@ def write_artifact(spec: BenchSpec, result: BenchResult,
         "settings": settings,
         "deviations": deviations,
         "result": result.as_dict(),
+    }
+    path = artifact_path(out, spec)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_failure_artifact(spec: BenchSpec, error_type: str, message: str,
+                           traceback: str, settings: Dict[str, Any],
+                           out_dir: Union[str, Path]) -> Path:
+    """Persist a bench whose run raised: the gallery keeps its slot (with
+    the failure flagged) instead of silently dropping the bench."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "bench": spec.name,
+        "slug": spec.slug,
+        "title": spec.title,
+        "paper_ref": spec.paper_ref,
+        "status": STATUS_FAILED,
+        "check_error": None,
+        "error": {"type": error_type, "message": message,
+                  "traceback": traceback},
+        "settings": settings,
+        "deviations": [],
+        "result": BenchResult(name=spec.slug).as_dict(),
     }
     path = artifact_path(out, spec)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -54,6 +54,9 @@ class ReportSettings:
     store: Optional[str] = DEFAULT_STORE   # None disables caching
     perf_refs: int = DEFAULT_PERF_REFS
     perf_repeat: int = DEFAULT_PERF_REPEAT
+    #: Fail fast: re-raise the first bench/job failure instead of
+    #: degrading to partial artifacts (``REPRO_STRICT=1`` / ``--strict``).
+    strict: bool = False
 
     @classmethod
     def from_env(cls, **overrides: Any) -> "ReportSettings":
@@ -71,6 +74,7 @@ class ReportSettings:
             perf_refs=_env_int("REPRO_BENCH_PERF_REFS", DEFAULT_PERF_REFS),
             perf_repeat=_env_int("REPRO_BENCH_PERF_REPEAT",
                                  DEFAULT_PERF_REPEAT),
+            strict=os.environ.get("REPRO_STRICT") == "1",
         )
         for key, value in overrides.items():
             if value is not None:
@@ -92,7 +96,7 @@ class ReportSettings:
         store = ResultStore(self.store) if self.store else None
         return ExperimentRunner(num_references=self.refs, scale=self.scale,
                                 seed=self.seed, workers=self.workers,
-                                store=store)
+                                store=store, strict=self.strict)
 
     def make_context(self, log: Optional[Callable[[str], None]] = None
                      ) -> ReportContext:
@@ -129,6 +133,9 @@ class BenchOutcome:
     svgs: List[Path] = field(default_factory=list)
     flagged: int = 0
     check_error: Optional[str] = None
+    #: ``"Type: message"`` when the bench run itself raised (non-strict
+    #: mode writes a failure artifact instead of aborting the report).
+    error: Optional[str] = None
 
 
 def run_bench(spec: BenchSpec, ctx: ReportContext,
@@ -172,6 +179,35 @@ def run_bench(spec: BenchSpec, ctx: ReportContext,
         check_error=check_error)
 
 
+def run_bench_guarded(spec: BenchSpec, ctx: ReportContext,
+                      settings: ReportSettings,
+                      out_dir: Union[str, Path]) -> BenchOutcome:
+    """Run one bench, degrading a raised exception to a failure artifact.
+
+    In ``strict`` mode the exception propagates (fail-fast CI behaviour);
+    otherwise the bench's gallery slot records the failure — type, message
+    and traceback — and the remaining benches still run.
+    """
+    import traceback as traceback_module
+
+    try:
+        return run_bench(spec, ctx, settings, out_dir)
+    except Exception as exc:
+        if settings.strict:
+            raise
+        error = {"type": type(exc).__name__, "message": str(exc),
+                 "traceback": traceback_module.format_exc()}
+        artifact = artifacts.write_failure_artifact(
+            spec, error["type"], error["message"], error["traceback"],
+            settings.describe(), out_dir)
+        page = Path(out_dir) / f"{spec.name}.md"
+        page.write_text(render.render_failure_page(spec, error,
+                                                   settings.describe()))
+        return BenchOutcome(spec=spec, status=artifacts.STATUS_FAILED,
+                            artifact=artifact, page=page,
+                            error=f"{error['type']}: {error['message']}")
+
+
 def resolve_benches(names: Optional[Sequence[str]]) -> List[BenchSpec]:
     """Bench names to specs; ``None``/empty means the full registry."""
     if not names:
@@ -204,7 +240,9 @@ def generate_report(names: Optional[Sequence[str]] = None, *,
     """Run benches, write artifacts and rebuild the gallery.
 
     Returns a summary dict: per-bench statuses, total flagged deviations,
-    and the gallery path.
+    failed benches, and the gallery path.  Unless ``settings.strict`` is
+    set, one bench raising does not stop the others: its slot degrades to
+    a failure artifact (flagged in the gallery) and the report completes.
     """
     specs = resolve_benches(names)
     settings = settings or ReportSettings.from_env()
@@ -213,7 +251,10 @@ def generate_report(names: Optional[Sequence[str]] = None, *,
     for spec in specs:
         if log is not None:
             log(f"bench {spec.name}: {spec.title}")
-        outcomes.append(run_bench(spec, ctx, settings, out_dir))
+        outcome = run_bench_guarded(spec, ctx, settings, out_dir)
+        if outcome.error is not None and log is not None:
+            log(f"bench {spec.name} FAILED: {outcome.error}")
+        outcomes.append(outcome)
     gallery_path = rebuild_gallery(out_dir, gallery)
     return {
         "benches": {outcome.spec.name: outcome.status
@@ -221,6 +262,8 @@ def generate_report(names: Optional[Sequence[str]] = None, *,
         "flagged": sum(outcome.flagged for outcome in outcomes),
         "check_failures": {outcome.spec.name: outcome.check_error
                            for outcome in outcomes if outcome.check_error},
+        "failed": {outcome.spec.name: outcome.error
+                   for outcome in outcomes if outcome.error},
         # Cumulative over every sweep of the run (incl. e.g. fig12's
         # 2/4 GB columns), so callers can assert full store service.
         "jobs": {"total": ctx.runner.jobs_total,

@@ -22,6 +22,7 @@ STATUS_BADGES = {
     "deviates": "⚠ deviates",
     "incomplete": "? metric missing",
     "check-failed": "✗ sanity check failed",
+    "failed": "✗ bench failed",
     "info": "· informational",
 }
 
@@ -125,6 +126,24 @@ def render_bench_page(spec: BenchSpec, result: BenchResult,
     return "\n".join(lines)
 
 
+def render_failure_page(spec: BenchSpec, error: Dict[str, Any],
+                        settings: Dict[str, Any]) -> str:
+    """The standalone page of a bench whose run raised."""
+    lines = [f"# {spec.title}", "",
+             f"*Paper reference:* {spec.paper_ref} · *bench:* `{spec.name}` "
+             f"· regenerate with `python -m repro report --bench "
+             f"{spec.name}`", "",
+             spec.description, ""]
+    lines.extend(_settings_lines(settings))
+    lines.extend([
+        "## Bench failed", "",
+        f"This bench raised **{error.get('type', 'Exception')}** instead "
+        f"of producing results: {error.get('message', '')}", ""])
+    if error.get("traceback"):
+        lines.extend(["```text", error["traceback"].rstrip(), "```", ""])
+    return "\n".join(lines)
+
+
 def render_gallery(payloads: List[Dict[str, Any]], out_dir: Path,
                    gallery_path: Path) -> str:
     """``EXPERIMENTS.md``: every bench side-by-side with the paper.
@@ -184,12 +203,34 @@ def render_gallery(payloads: List[Dict[str, Any]], out_dir: Path,
         lines.extend(flagged_rows)
         lines.append("")
 
+    failed = [p for p in payloads if p.get("status") == "failed"]
+    if failed:
+        lines.extend([
+            "## Failed benches", "",
+            "These benches raised instead of producing results; every "
+            "other artifact in this gallery was still regenerated.  "
+            "Re-run with `--strict` to fail fast instead.", "",
+            "| bench | error |", "|---|---|"])
+        for payload in failed:
+            error = payload.get("error", {})
+            lines.append(f"| `{payload['bench']}` "
+                         f"| `{error.get('type', 'Exception')}`: "
+                         f"{error.get('message', '(no message)')} |")
+        lines.append("")
+
     for payload in payloads:
         result = BenchResult.from_dict(payload["result"])
         lines.extend([f"## `{payload['bench']}` — {payload['title']}", "",
                       f"{payload['paper_ref']} · "
                       f"[full artifact page]({link(payload['bench'] + '.md')})"
                       f" · [JSON]({link(payload['bench'] + '.json')})", ""])
+        if payload.get("status") == "failed":
+            error = payload.get("error", {})
+            lines.extend([f"**Bench failed:** "
+                          f"`{error.get('type', 'Exception')}`: "
+                          f"{error.get('message', '(no message)')} — see "
+                          f"the artifact page for the traceback.", ""])
+            continue
         first_chart = next((table for table in result.tables
                             if table.chart is not None), None)
         if first_chart is not None:

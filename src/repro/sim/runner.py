@@ -29,8 +29,8 @@ from ..workloads.synthetic import WorkloadSpec
 from . import metrics
 from .simulator import RunResult
 from .store import ResultStore, open_store
-from .sweep import (AnyDesign, DesignRef, SweepJob, SweepReport,
-                    coerce_design, run_jobs)
+from .sweep import (AnyDesign, DesignRef, JobFailure, SweepExecutionError,
+                    SweepJob, SweepReport, coerce_design, run_jobs)
 
 DesignSpec = Union[str, DesignRef, Callable[[SystemConfig], MemorySystem]]
 
@@ -40,11 +40,21 @@ BASELINE_DESIGN = "BASELINE"
 
 @dataclass
 class SweepResult:
-    """All runs of one sweep, indexed by (design, workload)."""
+    """All runs of one sweep, indexed by (design, workload).
+
+    In non-strict mode, cells whose jobs exhausted their attempts are
+    simply *absent* from ``runs``/``baselines`` and recorded in
+    ``failures`` — consumers degrade to the cells that exist.
+    """
 
     config: SystemConfig
     runs: Dict[tuple, RunResult] = field(default_factory=dict)
     baselines: Dict[str, RunResult] = field(default_factory=dict)
+    failures: List[JobFailure] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
 
     def run_for(self, design: str, workload: str) -> RunResult:
         return self.runs[(design, workload)]
@@ -94,6 +104,7 @@ class SweepResult:
                           for name, result in self.baselines.items()},
             "speedups": {design: self.speedups(design)
                          for design in self.design_labels()},
+            "failures": [failure.as_dict() for failure in self.failures],
         }
 
 
@@ -110,7 +121,10 @@ class ExperimentRunner:
     def __init__(self, *, num_references: int = 40_000, scale: int = 256,
                  fm_gb: int = 16, seed: int = 1,
                  num_cores: Optional[int] = None, workers: int = 1,
-                 store: Union[ResultStore, str, None] = None) -> None:
+                 store: Union[ResultStore, str, None] = None,
+                 strict: bool = False, max_attempts: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 backoff: Optional[float] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.num_references = num_references
@@ -120,6 +134,14 @@ class ExperimentRunner:
         self.num_cores = num_cores
         self.workers = workers
         self.store = open_store(store)
+        #: Fault-tolerance knobs, forwarded to the sweep supervisor
+        #: (``None`` = the ``REPRO_SWEEP_*`` environment defaults).
+        #: ``strict=True`` raises on the first exhausted job instead of
+        #: degrading to partial results.
+        self.strict = strict
+        self.max_attempts = max_attempts
+        self.timeout = timeout
+        self.backoff = backoff
         #: Cache accounting of the most recent engine dispatch.
         self.last_report: Optional[SweepReport] = None
         #: Cumulative accounting over the runner's lifetime — lets a
@@ -128,6 +150,7 @@ class ExperimentRunner:
         self.jobs_total = 0
         self.jobs_simulated = 0
         self.jobs_cached = 0
+        self.jobs_failed = 0
 
     # ------------------------------------------------------------------
     # configuration helpers
@@ -147,12 +170,15 @@ class ExperimentRunner:
                         num_references=self.num_references, seed=self.seed,
                         num_cores=self.num_cores)
 
-    def _dispatch(self, jobs: Sequence[SweepJob]) -> List[RunResult]:
-        report = run_jobs(jobs, workers=self.workers, store=self.store)
+    def _dispatch(self, jobs: Sequence[SweepJob]) -> List[Optional[RunResult]]:
+        report = run_jobs(jobs, workers=self.workers, store=self.store,
+                          strict=self.strict, max_attempts=self.max_attempts,
+                          timeout=self.timeout, backoff=self.backoff)
         self.last_report = report
         self.jobs_total += report.total
         self.jobs_simulated += report.simulated
         self.jobs_cached += report.cached
+        self.jobs_failed += report.failed
         return report.results
 
     # ------------------------------------------------------------------
@@ -160,10 +186,17 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def run_one(self, design: DesignSpec, workload: Union[str, WorkloadSpec],
                 config: SystemConfig) -> RunResult:
-        """Simulate one design on one workload with a fresh memory system."""
+        """Simulate one design on one workload with a fresh memory system.
+
+        A single cell has no partial result to degrade to, so an exhausted
+        job raises :class:`SweepExecutionError` even in non-strict mode.
+        """
         spec = self._resolve_workload(workload)
         job = self._job(coerce_design(design), spec, config)
-        return self._dispatch([job])[0]
+        result = self._dispatch([job])[0]
+        if result is None:
+            raise SweepExecutionError(self.last_report.failures)
+        return result
 
     def run_baseline(self, workload: Union[str, WorkloadSpec],
                      config: SystemConfig) -> RunResult:
@@ -215,10 +248,13 @@ class ExperimentRunner:
         results = self._dispatch(jobs)
         sweep = SweepResult(config=config)
         for (name, workload_name), result in zip(index, results):
+            if result is None:
+                continue                 # exhausted job: cell stays absent
             if name is None:
                 sweep.baselines[workload_name] = result
             else:
                 sweep.runs[(name, workload_name)] = result
+        sweep.failures = list(self.last_report.failures)
         return sweep
 
     def sweep_designs_by_name(self, design_names: Sequence[str],

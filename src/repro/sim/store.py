@@ -8,8 +8,13 @@ bench or resuming an interrupted full sweep then only simulates the
 missing cells.
 
 Writes are atomic (tempfile + rename), so parallel sweep processes and
-concurrent bench sessions can share one store without corrupting it;
-unreadable or stale-format files are treated as misses and overwritten.
+concurrent bench sessions can share one store without corrupting it.
+Every payload embeds a SHA-256 checksum of its job description and result
+body, so :meth:`ResultStore.probe` distinguishes a plain *miss* from
+on-disk *corruption* (torn write, bit rot, truncation); corrupt cells are
+never served, are excluded from :meth:`keys`/``len``/``in``, and can be
+scanned, quarantined and re-simulated by :meth:`ResultStore.fsck`
+(``python -m repro store fsck [--repair]``).
 """
 
 from __future__ import annotations
@@ -19,13 +24,28 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from .simulator import RunResult
 
 #: Bump when the on-disk layout of a stored result changes.
-STORE_FORMAT = 1
+#: Format 2 added the embedded payload checksum and the re-simulation job
+#: description (format-1 cells read as ``stale`` and are re-simulated).
+STORE_FORMAT = 2
+
+#: ``probe`` statuses.
+CELL_OK = "ok"            # readable, checksum verified
+CELL_MISS = "miss"        # no file for this key
+CELL_STALE = "stale"      # older STORE_FORMAT; treated as a miss
+CELL_CORRUPT = "corrupt"  # unreadable JSON, bad checksum, or bad body
+
+#: Age (seconds) past which an orphaned ``*.tmp`` file is considered stale
+#: and safe to reap: no healthy writer holds a tempfile open anywhere near
+#: this long, so only interrupted/killed writers leave older ones behind.
+STALE_TMP_AGE_S = 600.0
 
 
 def _digest_tree(root: Path) -> str:
@@ -61,10 +81,91 @@ def model_fingerprint() -> str:
 #: ``--store`` flag or an explicit :class:`ResultStore`.
 DEFAULT_STORE_DIR = ".repro-store"
 
+#: Subdirectory (under the store root) corrupt cells are quarantined into.
+QUARANTINE_DIR = "quarantine"
+
 
 def default_store_root() -> Path:
     """Resolve the default store root (``REPRO_STORE`` wins if set)."""
     return Path(os.environ.get("REPRO_STORE", DEFAULT_STORE_DIR))
+
+
+def _payload_checksum(job: Optional[Dict[str, Any]],
+                      result: Dict[str, Any]) -> str:
+    """Checksum covering everything that matters in a stored cell."""
+    canonical = json.dumps({"job": job, "result": result}, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CellIssue:
+    """One unhealthy cell found by :meth:`ResultStore.fsck`."""
+
+    key: str
+    status: str                        # CELL_CORRUPT or CELL_STALE
+    path: str
+    quarantined_to: Optional[str] = None
+    repaired: bool = False
+    error: str = ""
+
+    def as_dict(self) -> dict:
+        return {"key": self.key, "status": self.status, "path": self.path,
+                "quarantined_to": self.quarantined_to,
+                "repaired": self.repaired, "error": self.error}
+
+
+@dataclass
+class FsckReport:
+    """Outcome of a store scan: what was healthy, broken, fixed."""
+
+    root: str
+    scanned: int = 0
+    ok: int = 0
+    issues: List[CellIssue] = field(default_factory=list)
+    stale_tmp: List[str] = field(default_factory=list)
+    reaped_tmp: int = 0
+
+    @property
+    def corrupt(self) -> List[CellIssue]:
+        return [i for i in self.issues if i.status == CELL_CORRUPT]
+
+    @property
+    def stale(self) -> List[CellIssue]:
+        return [i for i in self.issues if i.status == CELL_STALE]
+
+    @property
+    def repaired(self) -> List[CellIssue]:
+        return [i for i in self.issues if i.repaired]
+
+    @property
+    def unrepaired_corrupt(self) -> List[CellIssue]:
+        return [i for i in self.corrupt if not i.repaired]
+
+    @property
+    def clean(self) -> bool:
+        """No corruption left unrepaired (stale formats and reported tmp
+        files do not make a store unhealthy — they are never served)."""
+        return not self.unrepaired_corrupt
+
+    def as_dict(self) -> dict:
+        return {"root": self.root, "scanned": self.scanned, "ok": self.ok,
+                "issues": [issue.as_dict() for issue in self.issues],
+                "stale_tmp": list(self.stale_tmp),
+                "reaped_tmp": self.reaped_tmp, "clean": self.clean}
+
+    def summary(self) -> str:
+        parts = [f"{self.scanned} cells scanned, {self.ok} ok"]
+        if self.corrupt:
+            parts.append(f"{len(self.corrupt)} corrupt "
+                         f"({len(self.repaired)} repaired)")
+        if self.stale:
+            parts.append(f"{len(self.stale)} stale-format")
+        if self.stale_tmp:
+            parts.append(f"{len(self.stale_tmp)} stale tmp file(s)")
+        if self.reaped_tmp:
+            parts.append(f"{self.reaped_tmp} tmp file(s) reaped")
+        return ", ".join(parts)
 
 
 class ResultStore:
@@ -81,29 +182,63 @@ class ResultStore:
             raise ValueError(f"malformed store key {key!r}")
         return self.root / f"{key}.json"
 
-    def get(self, key: str) -> Optional[RunResult]:
-        """Cached result for ``key``, or ``None`` on miss/corruption."""
+    def probe(self, key: str) -> Tuple[str, Optional[RunResult]]:
+        """Load ``key`` distinguishing *miss* from *corruption*.
+
+        Returns ``(status, result)`` where status is one of
+        :data:`CELL_OK` (result attached), :data:`CELL_MISS` (no file),
+        :data:`CELL_STALE` (older store format — unusable but not damaged)
+        or :data:`CELL_CORRUPT` (unreadable JSON, checksum mismatch, or a
+        body :class:`RunResult` cannot hydrate).
+        """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        if payload.get("format") != STORE_FORMAT:
-            return None
+            raw = path.read_text()
+        except FileNotFoundError:
+            return CELL_MISS, None
+        except OSError:
+            return CELL_CORRUPT, None
         try:
-            return RunResult.from_dict(payload["result"])
-        except (KeyError, TypeError):
-            return None
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+        except ValueError:
+            return CELL_CORRUPT, None
+        if payload.get("format") != STORE_FORMAT:
+            return CELL_STALE, None
+        checksum = payload.get("checksum")
+        expected = _payload_checksum(payload.get("job"),
+                                     payload.get("result"))
+        if checksum != expected:
+            return CELL_CORRUPT, None
+        try:
+            return CELL_OK, RunResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return CELL_CORRUPT, None
 
-    def put(self, key: str, result: RunResult) -> None:
-        """Persist ``result`` under ``key`` (atomic, last writer wins)."""
+    def get(self, key: str) -> Optional[RunResult]:
+        """Cached result for ``key``, or ``None`` (use :meth:`probe` to
+        tell a miss from corruption)."""
+        return self.probe(key)[1]
+
+    def put(self, key: str, result: RunResult,
+            job: Optional[Dict[str, Any]] = None) -> None:
+        """Persist ``result`` under ``key`` (atomic, last writer wins).
+
+        ``job`` is the optional re-simulation description
+        (:meth:`~repro.sim.sweep.SweepJob.spec_dict`); when present,
+        ``fsck --repair`` can rebuild and re-run the cell's job after
+        corruption.  The embedded checksum covers both blocks.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
+        result_dict = result.as_dict()
         payload = {"format": STORE_FORMAT, "key": key,
-                   "result": result.as_dict()}
+                   "checksum": _payload_checksum(job, result_dict),
+                   "job": job, "result": result_dict}
         fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
+                json.dump(payload, handle, sort_keys=True)
             os.replace(tmp_name, self.path_for(key))
         except BaseException:
             try:
@@ -112,20 +247,50 @@ class ResultStore:
                 pass
             raise
 
+    def job_spec(self, key: str) -> Optional[Dict[str, Any]]:
+        """Best-effort read of a cell's re-simulation description.
+
+        Works even when the checksum no longer matches (the whole point:
+        repairing a corrupt cell), but not when the JSON itself is
+        unreadable.
+        """
+        try:
+            payload = json.loads(self.path_for(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        spec = payload.get("job")
+        return spec if isinstance(spec, dict) else None
+
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None
 
     def keys(self) -> Iterator[str]:
+        """Keys of the *servable* cells, in sorted order.
+
+        Consistent with :meth:`get`/``in``: a cell that would not load
+        (corrupt bytes, stale format) is not iterated and not counted by
+        ``len``, so ``all(k in store for k in store.keys())`` always holds.
+        Use :meth:`fsck` to see the unhealthy files too.
+        """
+        for key, status in self.scan():
+            if status == CELL_OK:
+                yield key
+
+    def scan(self) -> Iterator[Tuple[str, str]]:
+        """Yield ``(key, status)`` for every ``*.json`` file, sorted."""
         if not self.root.is_dir():
             return
         for path in sorted(self.root.glob("*.json")):
-            yield path.stem
+            yield path.stem, self.probe(path.stem)[0]
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
     def clear(self) -> int:
-        """Delete every cached result; returns how many were removed."""
+        """Delete every cached result (and any leftover ``*.tmp`` files,
+        whatever their age); returns how many results were removed."""
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
@@ -134,7 +299,109 @@ class ResultStore:
                     removed += 1
                 except OSError:
                     pass
+            self.reap_tmp(max_age_s=0.0)
         return removed
+
+    # ------------------------------------------------------------------
+    # hygiene: orphaned tempfiles and integrity checking
+    # ------------------------------------------------------------------
+    def tmp_files(self, min_age_s: float = 0.0) -> List[Path]:
+        """Orphaned ``*.tmp`` files at least ``min_age_s`` seconds old."""
+        if not self.root.is_dir():
+            return []
+        now = time.time()
+        out = []
+        for path in sorted(self.root.glob("*.tmp")):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue                 # raced with a concurrent writer
+            if age >= min_age_s:
+                out.append(path)
+        return out
+
+    def reap_tmp(self, max_age_s: float = STALE_TMP_AGE_S) -> int:
+        """Delete orphaned ``*.tmp`` files older than ``max_age_s``.
+
+        An interrupted :meth:`put` (process killed between ``mkstemp`` and
+        ``os.replace``) leaks its tempfile; nothing ever referenced it
+        again.  The age threshold keeps concurrent *live* writers safe —
+        their tempfiles are seconds old.  Called on every sweep start-up.
+        """
+        reaped = 0
+        for path in self.tmp_files(min_age_s=max_age_s):
+            try:
+                path.unlink()
+                reaped += 1
+            except OSError:
+                pass
+        return reaped
+
+    def quarantine(self, key: str) -> Optional[Path]:
+        """Move a cell's file into the ``quarantine/`` subdirectory so it
+        is out of the served namespace but preserved for post-mortems.
+        Returns the new path, or ``None`` if the file vanished."""
+        src = self.path_for(key)
+        dst_dir = self.root / QUARANTINE_DIR
+        try:
+            dst_dir.mkdir(parents=True, exist_ok=True)
+            dst = dst_dir / src.name
+            os.replace(src, dst)
+            return dst
+        except OSError:
+            return None
+
+    def fsck(self, repair: bool = False, quarantine: bool = True,
+             reap_tmp: bool = False) -> FsckReport:
+        """Scan every cell; report, quarantine and optionally repair.
+
+        * Corrupt cells (unreadable, checksum mismatch, bad body) are
+          quarantined (unless ``quarantine=False``) and — with
+          ``repair=True`` and an intact job description — re-simulated
+          through the sweep engine and rewritten in place.  Re-simulation
+          is deterministic, so a repaired cell is bit-identical to what
+          the original writer stored.
+        * Stale-format cells are reported (they are never served; a sweep
+          re-simulates them on demand).
+        * Stale ``*.tmp`` orphans are reported, and reaped when
+          ``reap_tmp=True``.
+        """
+        report = FsckReport(root=str(self.root))
+        for key, status in list(self.scan()):
+            report.scanned += 1
+            if status == CELL_OK:
+                report.ok += 1
+                continue
+            if status == CELL_MISS:      # pragma: no cover - raced unlink
+                continue
+            issue = CellIssue(key=key, status=status,
+                              path=str(self.path_for(key)))
+            if status == CELL_CORRUPT:
+                spec = self.job_spec(key) if repair else None
+                if quarantine:
+                    moved = self.quarantine(key)
+                    issue.quarantined_to = (str(moved) if moved else None)
+                if repair:
+                    if spec is None:
+                        issue.error = ("no readable job description; "
+                                       "cannot re-simulate")
+                    else:
+                        try:
+                            from .sweep import job_from_spec
+
+                            job = job_from_spec(spec)
+                            self.put(key, job.run(), job=spec)
+                            issue.repaired = True
+                        except Exception as exc:
+                            issue.error = (f"re-simulation failed: "
+                                           f"{type(exc).__name__}: {exc}")
+            report.issues.append(issue)
+        report.stale_tmp = [str(p)
+                            for p in self.tmp_files(min_age_s=STALE_TMP_AGE_S)]
+        if reap_tmp:
+            report.reaped_tmp = self.reap_tmp(max_age_s=0.0)
+            report.stale_tmp = []
+        return report
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore({str(self.root)!r}, {len(self)} results)"

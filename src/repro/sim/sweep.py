@@ -16,10 +16,17 @@ trivially.  This module provides the pieces:
   stable hash of everything that determines the result (design, workload
   spec, system configuration, trace length, seed, core count), used by the
   persistent :class:`~repro.sim.store.ResultStore`.
-* :func:`run_jobs` — execute a list of jobs, fanning out over a
-  ``multiprocessing.Pool`` when ``workers > 1``.  Workers re-seed their
-  RNGs and build fresh systems, so results are bit-identical to a serial
-  run; jobs whose results are already in the store are not re-simulated.
+* :func:`run_jobs` — execute a list of jobs under a fault-tolerant
+  supervisor.  When ``workers > 1`` jobs fan out over supervised worker
+  processes: a worker exception is captured as a structured
+  :class:`JobFailure` instead of aborting the batch, a per-job wall-clock
+  ``timeout`` kills and requeues hung workers, failed/timed-out jobs are
+  retried up to ``max_attempts`` times with exponential backoff, and a
+  dead worker (segfault, OOM-kill) is respawned with its in-flight job
+  resubmitted.  Workers re-seed their RNGs and build fresh systems, so
+  results are bit-identical to a serial run; jobs whose results are
+  already in the store are not re-simulated, and ``strict=True`` restores
+  fail-fast semantics (raise on the first exhausted job).
 """
 
 from __future__ import annotations
@@ -27,8 +34,11 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import os
 import pickle
 import random
+import time
+import traceback as traceback_module
 from dataclasses import asdict, dataclass, field
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
@@ -36,13 +46,40 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
 import numpy as np
 
 from ..baselines.base import MemorySystem
-from ..params import SystemConfig
+from ..params import (CoreParams, DramParams, Hybrid2Params, SramCacheParams,
+                      SystemConfig)
 from ..workloads.synthetic import WorkloadSpec
+from . import faults
 from .simulator import RunResult, simulate
+from .store import CELL_OK
 
 #: Bump to invalidate every stored result when the engine's semantics
 #: (simulate() defaults, key layout, result schema) change incompatibly.
 ENGINE_VERSION = 1
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    return float(raw)
+
+
+def default_max_attempts() -> int:
+    """``REPRO_SWEEP_MAX_ATTEMPTS``: attempts per job (default 3)."""
+    return max(1, int(_env_float("REPRO_SWEEP_MAX_ATTEMPTS", 3)))
+
+
+def default_timeout() -> Optional[float]:
+    """``REPRO_SWEEP_TIMEOUT``: per-job wall-clock seconds; 0 disables."""
+    value = _env_float("REPRO_SWEEP_TIMEOUT", 0.0)
+    return value if value > 0 else None
+
+
+def default_backoff() -> float:
+    """``REPRO_SWEEP_BACKOFF``: base retry delay in seconds (default 0.5,
+    doubled per attempt)."""
+    return max(0.0, _env_float("REPRO_SWEEP_BACKOFF", 0.5))
 
 
 # ---------------------------------------------------------------------------
@@ -203,6 +240,30 @@ class SweepJob:
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def spec_dict(self) -> Optional[Dict[str, Any]]:
+        """JSON-pure, self-contained re-simulation description.
+
+        Stored alongside the result in every cache cell, so ``python -m
+        repro store fsck --repair`` can rebuild the job (via
+        :func:`job_from_spec`) and re-run it after on-disk corruption.
+        ``None`` for inline designs — they are never cached.
+        """
+        if not isinstance(self.design, DesignRef):
+            return None
+        spec = {
+            "design": {"label": self.design.label,
+                       "target": self.design.target,
+                       "kwargs": dict(self.design.kwargs)},
+            "workload": self.workload.as_dict(),
+            "config": asdict(self.config),
+            "num_references": self.num_references,
+            "seed": self.seed,
+            "num_cores": self.num_cores,
+        }
+        # Round-trip through JSON so the stored form is exactly what a
+        # reader will see (tuples become lists, keys become strings).
+        return json.loads(json.dumps(spec))
+
     def run(self) -> RunResult:
         """Simulate this cell with a fresh memory system."""
         # Belt and braces: simulate() derives all randomness from explicit
@@ -216,16 +277,36 @@ class SweepJob:
                         num_cores=self.num_cores)
 
 
-def _execute_job(job: SweepJob) -> RunResult:
-    """Top-level worker entry point (must be picklable by reference)."""
+def _config_from_dict(data: Dict[str, Any]) -> SystemConfig:
+    return SystemConfig(
+        cores=CoreParams(**data["cores"]),
+        l1=SramCacheParams(**data["l1"]),
+        l2=SramCacheParams(**data["l2"]),
+        l3=SramCacheParams(**data["l3"]),
+        near=DramParams(**data["near"]),
+        far=DramParams(**data["far"]),
+        hybrid2=Hybrid2Params(**data["hybrid2"]),
+        scale=data["scale"],
+    )
+
+
+def job_from_spec(spec: Dict[str, Any]) -> SweepJob:
+    """Rebuild a :class:`SweepJob` from :meth:`SweepJob.spec_dict`."""
+    design = spec["design"]
+    ref = DesignRef(label=design["label"], target=design["target"],
+                    kwargs=tuple(sorted(design.get("kwargs", {}).items())))
+    return SweepJob(design=ref,
+                    workload=WorkloadSpec(**spec["workload"]),
+                    config=_config_from_dict(spec["config"]),
+                    num_references=spec["num_references"],
+                    seed=spec["seed"],
+                    num_cores=spec.get("num_cores"))
+
+
+def _run_attempt(index: int, attempt: int, job: SweepJob) -> RunResult:
+    """Execute one attempt of a job, with fault injection applied first."""
+    faults.inject(index, attempt)
     return job.run()
-
-
-def _execute_indexed(item: "Tuple[int, SweepJob]") -> "Tuple[int, RunResult]":
-    """Worker entry point that carries the job index through the pool, so
-    out-of-order completions can be merged (and persisted) as they arrive."""
-    index, job = item
-    return index, job.run()
 
 
 def _picklable(job: SweepJob) -> bool:
@@ -237,46 +318,377 @@ def _picklable(job: SweepJob) -> bool:
 
 
 # ---------------------------------------------------------------------------
-# execution
+# failures and reports
 # ---------------------------------------------------------------------------
 @dataclass
-class SweepReport:
-    """Outcome of :func:`run_jobs`: results plus cache accounting."""
+class JobFailure:
+    """Structured record of one job that exhausted its attempts."""
 
-    results: List[RunResult]
+    index: int
+    label: str
+    workload: str
+    key: Optional[str]
+    error_type: str          # exception class name, "Timeout", "WorkerDeath"
+    message: str
+    attempts: int            # attempts consumed (== max_attempts)
+    duration_s: float        # wall-clock of the last attempt
+    traceback: Optional[str] = None
+
+    def describe(self) -> str:
+        return (f"job {self.index} ({self.label}/{self.workload}): "
+                f"{self.error_type}: {self.message} "
+                f"[{self.attempts} attempt(s), last {self.duration_s:.2f}s]")
+
+    def as_dict(self) -> dict:
+        return {"index": self.index, "label": self.label,
+                "workload": self.workload, "key": self.key,
+                "error_type": self.error_type, "message": self.message,
+                "attempts": self.attempts, "duration_s": self.duration_s,
+                "traceback": self.traceback}
+
+
+class SweepExecutionError(RuntimeError):
+    """A sweep could not produce every requested cell.
+
+    Raised in ``strict`` mode on the first exhausted job, and in any mode
+    when the engine would otherwise return silently incomplete results
+    (the old ``assert`` here vanished under ``python -O``).
+    """
+
+    def __init__(self, failures: Sequence[JobFailure],
+                 message: Optional[str] = None) -> None:
+        self.failures = list(failures)
+        if message is None:
+            head = self.failures[0].describe() if self.failures else "unknown"
+            extra = (f" (+{len(self.failures) - 1} more)"
+                     if len(self.failures) > 1 else "")
+            message = f"sweep failed: {head}{extra}"
+        super().__init__(message)
+
+
+@dataclass
+class SweepReport:
+    """Outcome of :func:`run_jobs`: results plus execution accounting.
+
+    ``results`` is aligned with the submitted jobs; in non-strict mode an
+    exhausted job leaves ``None`` at its index and a :class:`JobFailure`
+    in ``failures``.  ``attempts`` counts every execution attempt,
+    including retries, so ``attempts - simulated`` is the retry overhead.
+    """
+
+    results: List[Optional[RunResult]]
     simulated: int = 0
     cached: int = 0
     workers: int = 1
+    failures: List[JobFailure] = field(default_factory=list)
+    attempts: int = 0
 
     @property
     def total(self) -> int:
         return len(self.results)
 
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
 
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+
+# ---------------------------------------------------------------------------
+# supervised execution
+# ---------------------------------------------------------------------------
+def _worker_main(conn) -> None:
+    """Worker process loop: receive ``(index, attempt, job)`` tasks over the
+    pipe, answer ``(index, attempt, ok, payload, duration)``.
+
+    One pipe per worker: killing a hung worker can only tear its own
+    channel, never a queue shared with healthy peers.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        index, attempt, job = task
+        start = time.monotonic()
+        try:
+            result = _run_attempt(index, attempt, job)
+        except BaseException as exc:
+            info = (type(exc).__name__, str(exc),
+                    traceback_module.format_exc())
+            message = (index, attempt, False, info,
+                       time.monotonic() - start)
+        else:
+            message = (index, attempt, True, result,
+                       time.monotonic() - start)
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _WorkerHandle:
+    """Supervisor-side view of one worker process."""
+
+    __slots__ = ("process", "conn", "index", "attempt", "deadline",
+                 "started")
+
+    def __init__(self, ctx) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(target=_worker_main, args=(child_conn,),
+                                   daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.index: Optional[int] = None
+        self.attempt = 0
+        self.deadline: Optional[float] = None
+        self.started = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.index is not None
+
+    def assign(self, index: int, attempt: int, job: SweepJob,
+               timeout: Optional[float]) -> None:
+        self.index = index
+        self.attempt = attempt
+        self.started = time.monotonic()
+        self.deadline = (self.started + timeout
+                         if timeout is not None else None)
+        self.conn.send((index, attempt, job))
+
+    def release(self) -> None:
+        self.index = None
+        self.attempt = 0
+        self.deadline = None
+
+    def kill(self) -> None:
+        try:
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():     # pragma: no cover - stubborn
+                self.process.kill()
+                self.process.join(timeout=5.0)
+        finally:
+            self.conn.close()
+
+    def shutdown(self) -> None:
+        """Polite stop for an idle worker; falls back to kill."""
+        try:
+            self.conn.send(None)
+            self.process.join(timeout=5.0)
+        except (BrokenPipeError, OSError):
+            pass
+        if self.process.is_alive():
+            self.kill()
+        else:
+            self.conn.close()
+
+
+class _Supervisor:
+    """Drives a set of worker processes over the pending jobs.
+
+    The supervisor owns all retry state: per-job attempt counts, backoff
+    eligibility times, and the classification of every failed attempt
+    (worker exception, wall-clock timeout, worker death).  Workers are
+    cattle — any that hangs or dies is destroyed and replaced, and its
+    in-flight job is requeued against the job's attempt budget.
+    """
+
+    #: Floor on the poll interval so deadline checking stays cheap.
+    MIN_TICK_S = 0.02
+    MAX_TICK_S = 0.5
+
+    def __init__(self, jobs: Sequence[SweepJob], indices: Sequence[int],
+                 workers: int, *, max_attempts: int,
+                 timeout: Optional[float], backoff: float) -> None:
+        import multiprocessing
+
+        self.ctx = multiprocessing.get_context()
+        self.jobs = jobs
+        self.workers = min(workers, len(indices))
+        self.max_attempts = max_attempts
+        self.timeout = timeout
+        self.backoff = backoff
+        # (eligible_at, index, attempt) — kept sorted by eligibility.
+        self.ready: List[Tuple[float, int, int]] = [
+            (0.0, i, 1) for i in indices]
+        self.outstanding = len(indices)
+
+    # -- retry bookkeeping ------------------------------------------------
+    def _requeue_or_fail(self, index: int, attempt: int, error_type: str,
+                         message: str, tb: Optional[str], duration: float,
+                         on_failure: Callable[[int, JobFailure], None]
+                         ) -> None:
+        if attempt < self.max_attempts:
+            delay = (self.backoff * (2 ** (attempt - 1))
+                     if self.backoff > 0 else 0.0)
+            self.ready.append((time.monotonic() + delay, index, attempt + 1))
+            self.ready.sort()
+            return
+        job = self.jobs[index]
+        self.outstanding -= 1
+        on_failure(index, JobFailure(
+            index=index, label=job.label, workload=job.workload.name,
+            key=None, error_type=error_type, message=message,
+            attempts=attempt, duration_s=duration, traceback=tb))
+
+    # -- main loop --------------------------------------------------------
+    def run(self, on_success: Callable[[int, int, RunResult], None],
+            on_failure: Callable[[int, JobFailure], None],
+            count_attempt: Callable[[], None]) -> None:
+        from multiprocessing.connection import wait as connection_wait
+
+        pool = [_WorkerHandle(self.ctx) for _ in range(self.workers)]
+        try:
+            while self.outstanding > 0:
+                now = time.monotonic()
+                # Assign eligible jobs to idle (live) workers.
+                for worker in pool:
+                    if not self.ready or self.ready[0][0] > now:
+                        break
+                    if worker.busy:
+                        continue
+                    if not worker.process.is_alive():
+                        worker.kill()
+                        pool[pool.index(worker)] = worker = \
+                            _WorkerHandle(self.ctx)
+                    _, index, attempt = self.ready.pop(0)
+                    count_attempt()
+                    worker.assign(index, attempt, self.jobs[index],
+                                  self.timeout)
+
+                busy = [w for w in pool if w.busy]
+                if not busy:
+                    if self.ready:      # backoff window: sleep until eligible
+                        time.sleep(max(self.MIN_TICK_S,
+                                       min(self.ready[0][0] - now,
+                                           self.MAX_TICK_S)))
+                        continue
+                    break               # nothing running, nothing queued
+                tick = self.MAX_TICK_S
+                deadlines = [w.deadline for w in busy
+                             if w.deadline is not None]
+                if deadlines:
+                    tick = min(tick, max(self.MIN_TICK_S,
+                                         min(deadlines) - now))
+                readable = connection_wait([w.conn for w in busy],
+                                           timeout=tick)
+                for conn in readable:
+                    worker = next(w for w in busy if w.conn is conn)
+                    index, attempt = worker.index, worker.attempt
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        # Worker died mid-job (segfault/OOM-kill/os._exit):
+                        # replace it and charge the job one attempt.
+                        duration = time.monotonic() - worker.started
+                        worker.kill()
+                        pool[pool.index(worker)] = _WorkerHandle(self.ctx)
+                        self._requeue_or_fail(
+                            index, attempt, "WorkerDeath",
+                            f"worker process died (exit code "
+                            f"{worker.process.exitcode})", None, duration,
+                            on_failure)
+                        continue
+                    worker.release()
+                    msg_index, msg_attempt, ok, payload, duration = message
+                    if ok:
+                        self.outstanding -= 1
+                        on_success(msg_index, msg_attempt, payload)
+                    else:
+                        error_type, error_message, tb = payload
+                        self._requeue_or_fail(msg_index, msg_attempt,
+                                              error_type, error_message, tb,
+                                              duration, on_failure)
+                # Enforce per-job wall-clock deadlines.
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    for slot, worker in enumerate(pool):
+                        if (worker.busy and worker.deadline is not None
+                                and now > worker.deadline
+                                and worker.conn not in
+                                [c for c in readable]):
+                            index, attempt = worker.index, worker.attempt
+                            duration = now - worker.started
+                            worker.kill()
+                            pool[slot] = _WorkerHandle(self.ctx)
+                            self._requeue_or_fail(
+                                index, attempt, "Timeout",
+                                f"job exceeded the {self.timeout:.3g}s "
+                                f"wall-clock timeout and was killed", None,
+                                duration, on_failure)
+        finally:
+            for worker in pool:
+                if worker.busy or not worker.process.is_alive():
+                    worker.kill()
+                else:
+                    worker.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
 def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
-             store: Optional[object] = None) -> SweepReport:
-    """Execute ``jobs``, in parallel when ``workers > 1``.
+             store: Optional[object] = None,
+             max_attempts: Optional[int] = None,
+             timeout: Optional[float] = None,
+             backoff: Optional[float] = None,
+             strict: bool = False) -> SweepReport:
+    """Execute ``jobs`` under the fault-tolerant supervisor.
 
     Results come back in job order regardless of completion order.  When a
     :class:`~repro.sim.store.ResultStore` is given, jobs whose key is
-    already present are served from disk and only the missing cells are
-    simulated; fresh results are written back so an interrupted sweep can
-    resume where it stopped.
+    already present are served from disk (corrupt cells are detected,
+    ignored and overwritten — the store self-heals) and only the missing
+    cells are simulated; fresh results are written back *with their job
+    description* as they complete, so an interrupted sweep can resume
+    where it stopped and ``fsck --repair`` can re-simulate damaged cells.
+
+    Failure semantics:
+
+    * each job gets ``max_attempts`` tries (``REPRO_SWEEP_MAX_ATTEMPTS``,
+      default 3) with exponential backoff (``backoff * 2**(attempt-1)``
+      seconds, ``REPRO_SWEEP_BACKOFF``, default 0.5);
+    * with ``workers > 1`` a per-attempt wall-clock ``timeout``
+      (``REPRO_SWEEP_TIMEOUT``, 0 = disabled) kills hung workers; dead
+      workers are respawned and their in-flight job requeued.  The serial
+      path retries exceptions but cannot kill a hung attempt (it has no
+      process boundary) — use workers for timeout enforcement;
+    * a job that exhausts its attempts becomes a :class:`JobFailure` in
+      ``SweepReport.failures`` and leaves ``None`` at its result index —
+      unless ``strict=True``, which raises :class:`SweepExecutionError`
+      on the first exhausted job (today's fail-fast CI behaviour).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    max_attempts = (default_max_attempts() if max_attempts is None
+                    else max(1, max_attempts))
+    timeout = default_timeout() if timeout is None else (
+        timeout if timeout > 0 else None)
+    backoff = default_backoff() if backoff is None else max(0.0, backoff)
+
     jobs = list(jobs)
     results: List[Optional[RunResult]] = [None] * len(jobs)
     keys: List[Optional[str]] = [None] * len(jobs)
+    failures: Dict[int, JobFailure] = {}
+    attempts = 0
 
     pending: List[int] = []
     cached = 0
+    if store is not None and jobs:
+        # Reap tempfiles orphaned by a previously killed writer.
+        store.reap_tmp()
     for i, job in enumerate(jobs):
         if store is not None:
             keys[i] = job.cache_key()
             if keys[i] is not None:
-                hit = store.get(keys[i])
-                if hit is not None:
+                status, hit = store.probe(keys[i])
+                if status == CELL_OK:
                     results[i] = hit
                     cached += 1
                     continue
@@ -284,32 +696,77 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
 
     parallel: List[int] = []
     serial: List[int] = []
-    if workers > 1 and len(pending) > 1:
+    # A single pending job normally runs in-process (no pool overhead),
+    # but when a timeout is configured it still goes through the
+    # supervisor: only a process boundary can kill a hung attempt.
+    if workers > 1 and (len(pending) > 1
+                        or (pending and timeout is not None)):
         for i in pending:
             (parallel if _picklable(jobs[i]) else serial).append(i)
     else:
         serial = pending
 
+    fault_plan = faults.active_plan()
+
     # Results are persisted as they complete (not after the whole batch), so
     # an interrupted sweep keeps every finished cell and a re-run resumes
     # from the missing ones.
-    def finish(i: int, result: RunResult) -> None:
+    def finish(i: int, attempt: int, result: RunResult) -> None:
         results[i] = result
         if store is not None and keys[i] is not None:
-            store.put(keys[i], result)
+            store.put(keys[i], result, job=jobs[i].spec_dict())
+            if fault_plan and faults.should_corrupt(i, attempt):
+                faults.corrupt_cell(store.path_for(keys[i]))
+
+    def fail(i: int, failure: JobFailure) -> None:
+        failure.key = keys[i]
+        failures[i] = failure
+        if strict:
+            raise SweepExecutionError([failure])
+
+    def count_attempt() -> None:
+        nonlocal attempts
+        attempts += 1
 
     if parallel:
-        import multiprocessing
-
-        processes = min(workers, len(parallel))
-        with multiprocessing.Pool(processes=processes) as pool:
-            for i, result in pool.imap_unordered(
-                    _execute_indexed, [(i, jobs[i]) for i in parallel],
-                    chunksize=1):
-                finish(i, result)
+        supervisor = _Supervisor(jobs, parallel, workers,
+                                 max_attempts=max_attempts, timeout=timeout,
+                                 backoff=backoff)
+        supervisor.run(finish, fail, count_attempt)
     for i in serial:
-        finish(i, jobs[i].run())
+        for attempt in range(1, max_attempts + 1):
+            count_attempt()
+            started = time.monotonic()
+            try:
+                result = _run_attempt(i, attempt, jobs[i])
+            except Exception as exc:
+                duration = time.monotonic() - started
+                if attempt < max_attempts:
+                    if backoff > 0:
+                        time.sleep(backoff * (2 ** (attempt - 1)))
+                    continue
+                fail(i, JobFailure(
+                    index=i, label=jobs[i].label,
+                    workload=jobs[i].workload.name, key=keys[i],
+                    error_type=type(exc).__name__, message=str(exc),
+                    attempts=attempt, duration_s=duration,
+                    traceback=traceback_module.format_exc()))
+                break
+            else:
+                finish(i, attempt, result)
+                break
 
-    assert all(r is not None for r in results), "job left without a result"
-    return SweepReport(results=list(results), simulated=len(pending),
-                       cached=cached, workers=workers)
+    # A job that is neither finished nor recorded as failed means the
+    # engine itself lost track — never return silently incomplete results
+    # (the previous ``assert`` here vanished under ``python -O``).
+    lost = [i for i, r in enumerate(results)
+            if r is None and i not in failures]
+    if lost:
+        raise SweepExecutionError(
+            [], message=f"sweep engine lost track of job(s) {lost} "
+                        f"(no result and no failure recorded)")
+    simulated = len(pending) - len(failures)
+    return SweepReport(results=list(results), simulated=simulated,
+                       cached=cached, workers=workers,
+                       failures=[failures[i] for i in sorted(failures)],
+                       attempts=attempts)

@@ -136,3 +136,46 @@ def test_store_info_and_clear(tmp_path, capsys):
     assert "removed 2" in capsys.readouterr().out
     assert main(["store", "--store", store]) == 0
     assert "0 cached results" in capsys.readouterr().out
+
+
+def test_sweep_with_exhausted_fault_degrades_and_exits_nonzero(
+        tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS",
+                       '[{"job": 0, "mode": "crash", "attempts": 99}]')
+    code = main(SWEEP_ARGS + ["--store", str(tmp_path / "store"),
+                              "--no-baselines", "--max-attempts", "2",
+                              "--backoff", "0"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "1 FAILED" in captured.out
+    assert "InjectedFault" in captured.err
+
+
+def test_sweep_strict_fails_fast_on_fault(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS",
+                       '[{"job": 0, "mode": "crash", "attempts": 99}]')
+    code = main(SWEEP_ARGS + ["--no-store", "--no-baselines", "--strict",
+                              "--max-attempts", "1", "--backoff", "0"])
+    assert code == 1
+    assert "injected crash" in capsys.readouterr().err
+
+
+def test_store_fsck_detects_quarantines_and_repairs(tmp_path, capsys):
+    from repro.sim.faults import corrupt_cell
+    from repro.sim.store import ResultStore
+
+    store = str(tmp_path / "store")
+    main(SWEEP_ARGS + ["--store", store, "--no-baselines"])
+    capsys.readouterr()
+    assert main(["store", "fsck", "--store", store]) == 0
+    assert "1 cells scanned, 1 ok" in capsys.readouterr().out
+    key = next(iter(ResultStore(store).keys()))
+    path = ResultStore(store).path_for(key)
+    pristine = path.read_bytes()
+    corrupt_cell(path)
+    assert main(["store", "fsck", "--store", store, "--no-quarantine"]) == 1
+    captured = capsys.readouterr()
+    assert "1 corrupt" in captured.out and key in captured.err
+    assert main(["store", "fsck", "--store", store, "--repair"]) == 0
+    assert "1 repaired" in capsys.readouterr().out
+    assert path.read_bytes() == pristine

@@ -208,6 +208,65 @@ def test_rebuild_gallery_without_artifacts_is_empty_but_valid(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# graceful degradation: one failing bench must not sink the report
+# ----------------------------------------------------------------------
+def _broken_spec():
+    spec = get_bench("table1")
+    return type(spec)(
+        name=spec.name, slug=spec.slug, title=spec.title,
+        paper_ref=spec.paper_ref, description=spec.description,
+        run=lambda ctx: (_ for _ in ()).throw(
+            RuntimeError("bench exploded")),
+        check=None, expectations=spec.expectations,
+        landmarks=spec.landmarks, uses_sweep=spec.uses_sweep)
+
+
+def test_failing_bench_degrades_to_failure_artifact(tmp_path, tiny_settings,
+                                                    monkeypatch):
+    monkeypatch.setattr("repro.report.pipeline.get_bench",
+                        lambda name: _broken_spec() if name == "table1"
+                        else get_bench(name))
+    out = tmp_path / "artifacts"
+    gallery = tmp_path / "EXPERIMENTS.md"
+    summary = generate_report(["table1", "table2"], settings=tiny_settings,
+                              out_dir=out, gallery=gallery)
+    # The failing bench is flagged, the healthy one still rendered.
+    assert summary["benches"]["table1"] == "failed"
+    assert summary["benches"]["table2"] != "failed"
+    assert summary["failed"] == {"table1": "RuntimeError: bench exploded"}
+    assert (out / "table2.json").exists()
+    payload = load_artifact(out / "table1.json")
+    assert payload["status"] == "failed"
+    assert payload["error"]["type"] == "RuntimeError"
+    assert "bench exploded" in payload["error"]["traceback"]
+    text = gallery.read_text()
+    assert "Failed benches" in text
+    assert "bench exploded" in text
+    assert "table2" in text                  # the rest of the gallery stands
+    page = (out / "table1.md").read_text()
+    assert "RuntimeError" in page and "bench exploded" in page
+
+
+def test_strict_report_reraises_bench_failures(tmp_path, tiny_settings,
+                                               monkeypatch):
+    monkeypatch.setattr("repro.report.pipeline.get_bench",
+                        lambda name: _broken_spec())
+    tiny_settings.strict = True
+    with pytest.raises(RuntimeError, match="bench exploded"):
+        generate_report(["table1"], settings=tiny_settings,
+                        out_dir=tmp_path / "artifacts",
+                        gallery=tmp_path / "EXPERIMENTS.md")
+
+
+def test_report_settings_strict_env_knob(monkeypatch):
+    monkeypatch.setenv("REPRO_STRICT", "1")
+    assert ReportSettings.from_env().strict
+    monkeypatch.delenv("REPRO_STRICT")
+    assert not ReportSettings.from_env().strict
+    assert ReportSettings.from_env(strict=True).strict
+
+
+# ----------------------------------------------------------------------
 # apidoc generation
 # ----------------------------------------------------------------------
 def test_apidoc_generates_baselines_reference(tmp_path):

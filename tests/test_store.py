@@ -2,13 +2,18 @@
 behaviour, resume semantics and corruption tolerance."""
 
 import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.params import make_config
+from repro.sim.faults import corrupt_cell
 from repro.sim.runner import ExperimentRunner
 from repro.sim.simulator import RunResult
-from repro.sim.store import ResultStore, open_store
+from repro.sim.store import (CELL_CORRUPT, CELL_MISS, CELL_OK, CELL_STALE,
+                             ResultStore, open_store)
 from repro.sim.sweep import SweepJob, coerce_design, run_jobs
 from repro.stats import Stats
 from repro.workloads import get_workload
@@ -155,8 +160,11 @@ def test_completed_cells_persist_before_a_later_failure(tmp_path):
     bad = SweepJob(design=coerce_design(_exploding_design, "BOOM"),
                    workload=get_workload("mcf"), config=config,
                    num_references=REFS, seed=3)
+    # strict mode preserves the historic fail-fast contract
+    # (SweepExecutionError subclasses RuntimeError).
     with pytest.raises(RuntimeError):
-        run_jobs([good, bad], workers=1, store=store)
+        run_jobs([good, bad], workers=1, store=store,
+                 strict=True, max_attempts=1)
     assert len(store) == 1
     assert store.get(good.cache_key()) is not None
 
@@ -167,3 +175,127 @@ def test_run_jobs_without_store_never_caches(tmp_path):
     assert runner.last_report.cached == 0
     report = run_jobs([], workers=1, store=None)
     assert report.total == 0
+
+
+# ---------------------------------------------------------------------------
+# integrity: checksums, probe statuses, keys() consistency
+# ---------------------------------------------------------------------------
+def make_job(seed=3):
+    config = make_config(nm_gb=1, fm_gb=16, scale=SCALE)
+    return SweepJob(design=coerce_design("HYBRID2"),
+                    workload=get_workload("mcf"), config=config,
+                    num_references=REFS, seed=seed)
+
+
+def test_probe_distinguishes_miss_stale_corrupt_ok(tmp_path):
+    store = ResultStore(tmp_path)
+    key = "f" * 64
+    assert store.probe(key) == (CELL_MISS, None)
+    store.put(key, sample_result())
+    status, result = store.probe(key)
+    assert status == CELL_OK and result is not None
+    payload = json.loads(store.path_for(key).read_text())
+    payload["result"]["cycles"] += 1.0       # silent bit rot
+    store.path_for(key).write_text(json.dumps(payload))
+    assert store.probe(key) == (CELL_CORRUPT, None)
+    store.path_for(key).write_text(json.dumps({"format": -1}))
+    assert store.probe(key) == (CELL_STALE, None)
+    store.path_for(key).write_text("{not json")
+    assert store.probe(key) == (CELL_CORRUPT, None)
+
+
+def test_keys_and_len_exclude_unreadable_cells(tmp_path):
+    # Satellite: a corrupted cell must not count as a cached result.
+    store = ResultStore(tmp_path)
+    good, bad = "a" * 64, "b" * 64
+    store.put(good, sample_result())
+    store.put(bad, sample_result())
+    corrupt_cell(store.path_for(bad))
+    assert list(store.keys()) == [good]
+    assert len(store) == 1
+    assert bad not in store
+    assert dict(store.scan()) == {good: CELL_OK, bad: CELL_CORRUPT}
+
+
+def test_tmp_files_are_reaped_by_clear_and_run_jobs(tmp_path):
+    # Satellite: temp files orphaned by a killed writer get cleaned up.
+    store = ResultStore(tmp_path)
+    orphan = store.root / ".tmp-orphan.tmp"
+    orphan.write_text("partial write")
+    old = time.time() - 3600
+    os.utime(orphan, (old, old))
+    assert [p.name for p in store.tmp_files()] == [orphan.name]
+    report = run_jobs([make_job()], workers=1, store=store)
+    assert report.simulated == 1
+    assert not orphan.exists()               # reaped at sweep startup
+    fresh = store.root / ".tmp-fresh.tmp"    # young → in-flight, kept
+    fresh.write_text("in flight")
+    assert store.reap_tmp() == 0
+    assert fresh.exists()
+    store.clear()
+    assert not fresh.exists()                # clear() reaps regardless of age
+
+
+def test_fsck_detects_and_quarantines_corruption(tmp_path):
+    store = ResultStore(tmp_path)
+    run_jobs([make_job(seed=3), make_job(seed=4)], workers=1, store=store)
+    key = make_job(seed=4).cache_key()
+    corrupt_cell(store.path_for(key))
+    report = store.fsck()
+    assert report.scanned == 2 and report.ok == 1
+    assert [issue.key for issue in report.corrupt] == [key]
+    assert not report.clean
+    quarantined = report.corrupt[0].quarantined_to
+    assert quarantined is not None and Path(quarantined).exists()
+    assert not store.path_for(key).exists()
+    assert store.fsck().clean                # second pass: nothing left
+
+
+def test_fsck_repair_restores_bit_identical_cells(tmp_path):
+    store = ResultStore(tmp_path)
+    job = make_job()
+    run_jobs([job], workers=1, store=store)
+    path = store.path_for(job.cache_key())
+    pristine = path.read_bytes()
+    corrupt_cell(path)
+    assert path.read_bytes() != pristine
+    report = store.fsck(repair=True)
+    assert report.clean
+    assert [issue.key for issue in report.repaired] == [job.cache_key()]
+    assert path.read_bytes() == pristine     # re-simulated, byte-for-byte
+
+
+def test_fsck_reports_unrepairable_garbage(tmp_path):
+    store = ResultStore(tmp_path)
+    key = "e" * 64
+    store.path_for(key).write_text("{not json")
+    report = store.fsck(repair=True)
+    assert not report.clean
+    assert [issue.key for issue in report.unrepaired_corrupt] == [key]
+    assert report.corrupt[0].quarantined_to is not None
+
+
+def test_fsck_counts_stale_tmp_files(tmp_path):
+    store = ResultStore(tmp_path)
+    orphan = store.root / ".orphan.tmp"
+    orphan.write_text("x")
+    old = time.time() - 3600
+    os.utime(orphan, (old, old))
+    report = store.fsck(reap_tmp=False)
+    assert len(report.stale_tmp) == 1 and report.reaped_tmp == 0
+    assert orphan.exists()
+    report = store.fsck(reap_tmp=True)
+    assert report.reaped_tmp == 1
+    assert not orphan.exists()
+
+
+def test_put_embeds_recoverable_job_spec(tmp_path):
+    store = ResultStore(tmp_path)
+    job = make_job()
+    run_jobs([job], workers=1, store=store)
+    spec = store.job_spec(job.cache_key())
+    assert spec == job.spec_dict()
+    corrupt_cell(store.path_for(job.cache_key()))
+    # The job description survives result corruption — that is what makes
+    # ``fsck --repair`` possible.
+    assert store.job_spec(job.cache_key()) == job.spec_dict()
