@@ -26,6 +26,17 @@ Subcommands:
       python -m repro report --bench fig12 fig15 --workers 4
       python -m repro report --list                  # show the registry
 
+* ``trace`` — work with external trace files (``repro.trace``):
+  ``convert`` builds the content-hashed mmap cache beside a source file,
+  ``inspect`` summarises a trace (record count, footprint, read/write
+  mix, per-core histogram), ``subsample`` and ``interleave`` write
+  derived traces.  ``sweep --workloads trace:PATH`` drives any design
+  with a trace file directly::
+
+      python -m repro trace convert traces/mcf.tsv
+      python -m repro trace inspect traces/mcf.tsv --json
+      python -m repro sweep --designs HYBRID2 --workloads trace:traces/mcf.tsv
+
 * ``apidoc`` — (re)generate ``docs/api.md`` from the ``repro.baselines``
   docstrings; ``--check`` fails when the page drifted from the code.
 * ``designs`` — list the design registry (paper labels).
@@ -48,10 +59,12 @@ from .sim.store import ResultStore, default_store_root
 from .sim.sweep import DesignRef, SweepExecutionError
 from .workloads.catalog import (MPKI_CLASSES, WORKLOADS, get_workload,
                                 representative_workloads, workloads_by_class)
+from .workloads.tracefile import is_trace_token, workload_from_token
 
 
 def _parse_workloads(tokens: Sequence[str], per_class: Optional[int]) -> List:
-    """Expand workload tokens: names, ``all`` and ``class:<name>``."""
+    """Expand workload tokens: names, ``all``, ``class:<name>`` and
+    ``trace:<path>`` (a trace file driven directly)."""
     if per_class is not None:
         return representative_workloads(per_class=per_class)
     specs = []
@@ -60,6 +73,8 @@ def _parse_workloads(tokens: Sequence[str], per_class: Optional[int]) -> List:
             specs.extend(WORKLOADS)
         elif token.startswith("class:"):
             specs.extend(workloads_by_class(token.split(":", 1)[1]))
+        elif is_trace_token(token):
+            specs.append(workload_from_token(token))
         else:
             specs.append(get_workload(token))
     seen = set()
@@ -337,6 +352,128 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 1 if summary["check_failures"] or summary["failed"] else 0
 
 
+def _add_trace_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("trace",
+                       help="convert, inspect and transform external "
+                            "trace files (repro.trace)")
+    actions = p.add_subparsers(dest="action", required=True)
+
+    convert = actions.add_parser(
+        "convert", help="parse a text trace and build its content-hashed "
+                        "mmap cache (a second load is milliseconds)")
+    convert.add_argument("source", help="trace file (TSV, gzip TSV, or CSV)")
+    convert.add_argument("--force", action="store_true",
+                         help="rebuild the cache even when it is valid")
+    convert.add_argument("--json", action="store_true",
+                         help="print a machine-readable summary")
+
+    inspect = actions.add_parser(
+        "inspect", help="summarise a trace: records, footprint, "
+                        "read/write mix, per-core histogram")
+    inspect.add_argument("source", help="trace file")
+    inspect.add_argument("--no-cache", action="store_true",
+                         help="re-parse the text even when a cache exists "
+                              "(and do not write one)")
+    inspect.add_argument("--json", action="store_true",
+                         help="print the summary as JSON")
+
+    subsample = actions.add_parser(
+        "subsample", help="write a reduced trace (--first N records "
+                          "and/or every K-th record per core)")
+    subsample.add_argument("source", help="trace file")
+    subsample.add_argument("--out", required=True, metavar="FILE",
+                           help="output trace (*.csv[.gz] for the CSV "
+                                "dialect, anything else TSV)")
+    subsample.add_argument("--first", type=int, default=None, metavar="N",
+                           help="keep the first N records")
+    subsample.add_argument("--every", type=int, default=None, metavar="K",
+                           help="keep every K-th record per core, folding "
+                                "dropped records into the gaps")
+    subsample.add_argument("--json", action="store_true")
+
+    interleave = actions.add_parser(
+        "interleave", help="round-robin merge single-core traces into one "
+                           "multi-core CSV trace (source i becomes core i)")
+    interleave.add_argument("sources", nargs="+",
+                            help="single-core trace files, one per core")
+    interleave.add_argument("--out", required=True, metavar="FILE",
+                            help="output trace (*.csv[.gz]; the merged "
+                                 "trace is multi-core)")
+    interleave.add_argument("--json", action="store_true")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import trace as tracemod
+
+    if args.action == "convert":
+        if args.force:
+            tracemod.drop_cache(args.source)
+        _, info = tracemod.load_trace_info(args.source)
+        payload = {"path": info.path, "content_hash": info.content_hash,
+                   "records": info.records, "from_cache": info.from_cache,
+                   "cache_dir": str(tracemod.cache_dir_for(args.source))}
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            verb = ("cache already valid" if info.from_cache
+                    else "built cache")
+            print(f"{verb} for {info.path}: {info.records} records, "
+                  f"sha256 {info.content_hash[:12]}… "
+                  f"-> {payload['cache_dir']}")
+        return 0
+
+    if args.action == "inspect":
+        if args.no_cache:
+            trace = tracemod.parse_trace(args.source)
+            info = None
+        else:
+            trace, info = tracemod.load_trace_info(args.source)
+        payload = tracemod.inspect_trace(trace, info)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            cores = ", ".join(f"core {c}: {n}"
+                              for c, n in payload["cores"].items())
+            print(f"{args.source}: {payload['records']} records, "
+                  f"{payload['instructions']} instructions, "
+                  f"mpki {payload['mpki']}, "
+                  f"write fraction {payload['write_fraction']:.3f}, "
+                  f"footprint {payload['footprint_bytes']} B")
+            print(f"  {cores}")
+            if info is not None:
+                source = "cache" if info.from_cache else "text parse"
+                print(f"  sha256 {info.content_hash[:12]}… "
+                      f"(loaded from {source})")
+        return 0
+
+    if args.action == "subsample":
+        trace = tracemod.load_trace(args.source)
+        reduced = tracemod.subsample(trace, first=args.first,
+                                     every=args.every)
+        tracemod.write_trace(reduced, args.out)
+        payload = {"source": args.source, "out": args.out,
+                   "records_in": len(trace), "records_out": len(reduced)}
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"wrote {args.out}: {len(reduced)} of {len(trace)} "
+                  f"records")
+        return 0
+
+    # interleave
+    traces = [tracemod.load_trace(source) for source in args.sources]
+    merged = tracemod.interleave_traces(traces)
+    tracemod.write_trace(merged, args.out)
+    payload = {"sources": list(args.sources), "out": args.out,
+               "cores": len(traces), "records": len(merged)}
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"wrote {args.out}: {len(merged)} records over "
+              f"{len(traces)} cores")
+    return 0
+
+
 def _add_apidoc_parser(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("apidoc",
                        help="generate docs/api.md from the baselines "
@@ -415,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_parser(sub)
     _add_bench_parser(sub)
     _add_report_parser(sub)
+    _add_trace_parser(sub)
     _add_apidoc_parser(sub)
     sub.add_parser("designs", help="list the design registry")
     p_workloads = sub.add_parser("workloads",
@@ -447,6 +585,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "report": _cmd_report,
+        "trace": _cmd_trace,
         "apidoc": _cmd_apidoc,
         "designs": _cmd_designs,
         "workloads": _cmd_workloads,

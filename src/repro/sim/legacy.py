@@ -139,6 +139,11 @@ def simulate_reference(system: MemorySystem,
             workload, per_core, num_cores=cores_wanted, scale=config.scale,
             seed=seed, address_limit=system.flat_capacity_bytes)
         name = workload.name
+    elif hasattr(workload, "load_traces"):
+        # Same trace-backed branch as the fast path, so the equivalence
+        # tests can pin trace-driven runs against this seed driver too.
+        traces = workload.load_traces(num_references)
+        name = workload.name
     elif isinstance(workload, Trace):
         traces = [workload]
         name = "trace"

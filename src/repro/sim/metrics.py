@@ -66,11 +66,16 @@ def group_by_class(per_workload: Mapping[str, float]) -> Dict[str, float]:
 
     ``per_workload`` maps workload names to a positive metric (speedup,
     normalised traffic, service ratio, ...).  Classes with no entries are
-    omitted.
+    omitted.  Names outside the Table 2 catalog (trace-file workloads)
+    have no MPKI class and contribute to "all" only.
     """
     grouped: Dict[str, List[float]] = {klass: [] for klass in MPKI_CLASSES}
     for name, value in per_workload.items():
-        grouped[mpki_class_of(name)].append(value)
+        try:
+            klass = mpki_class_of(name)
+        except KeyError:
+            continue
+        grouped[klass].append(value)
     out: Dict[str, float] = {}
     for klass in MPKI_CLASSES:
         if grouped[klass]:

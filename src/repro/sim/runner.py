@@ -26,6 +26,8 @@ from ..baselines.base import MemorySystem
 from ..params import SystemConfig, make_config
 from ..workloads.catalog import get_workload
 from ..workloads.synthetic import WorkloadSpec
+from ..workloads.tracefile import (TraceFileWorkload, is_trace_token,
+                                   workload_from_token)
 from . import metrics
 from .simulator import RunResult
 from .store import ResultStore, open_store
@@ -33,6 +35,9 @@ from .sweep import (AnyDesign, DesignRef, JobFailure, SweepExecutionError,
                     SweepJob, SweepReport, coerce_design, run_jobs)
 
 DesignSpec = Union[str, DesignRef, Callable[[SystemConfig], MemorySystem]]
+#: Workloads: a catalog name, a ``trace:PATH`` token, a synthetic spec, or
+#: a trace-file workload handle.
+Workload = Union[str, WorkloadSpec, TraceFileWorkload]
 
 #: Registry label of the no-NM baseline every sweep normalises against.
 BASELINE_DESIGN = "BASELINE"
@@ -159,12 +164,17 @@ class ExperimentRunner:
         return make_config(nm_gb=nm_gb, fm_gb=self.fm_gb, scale=self.scale,
                            **overrides)
 
-    def _resolve_workload(self, workload: Union[str, WorkloadSpec]) -> WorkloadSpec:
-        if isinstance(workload, WorkloadSpec):
+    def _resolve_workload(
+            self, workload: "Workload") -> Union[WorkloadSpec,
+                                                 TraceFileWorkload]:
+        if isinstance(workload, (WorkloadSpec, TraceFileWorkload)):
             return workload
+        if is_trace_token(workload):
+            return workload_from_token(workload)
         return get_workload(workload)
 
-    def _job(self, design: AnyDesign, spec: WorkloadSpec,
+    def _job(self, design: AnyDesign,
+             spec: Union[WorkloadSpec, TraceFileWorkload],
              config: SystemConfig) -> SweepJob:
         return SweepJob(design=design, workload=spec, config=config,
                         num_references=self.num_references, seed=self.seed,
@@ -184,7 +194,7 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # single runs
     # ------------------------------------------------------------------
-    def run_one(self, design: DesignSpec, workload: Union[str, WorkloadSpec],
+    def run_one(self, design: DesignSpec, workload: Workload,
                 config: SystemConfig) -> RunResult:
         """Simulate one design on one workload with a fresh memory system.
 
@@ -198,7 +208,7 @@ class ExperimentRunner:
             raise SweepExecutionError(self.last_report.failures)
         return result
 
-    def run_baseline(self, workload: Union[str, WorkloadSpec],
+    def run_baseline(self, workload: Workload,
                      config: SystemConfig) -> RunResult:
         """Simulate the no-NM baseline (used for every normalisation)."""
         return self.run_one(BASELINE_DESIGN, workload, config)
@@ -207,7 +217,7 @@ class ExperimentRunner:
     # sweeps
     # ------------------------------------------------------------------
     def sweep(self, designs: Sequence[DesignSpec],
-              workloads: Sequence[Union[str, WorkloadSpec]],
+              workloads: Sequence[Workload],
               nm_gb: int = 1, config: Optional[SystemConfig] = None,
               design_names: Optional[Sequence[str]] = None,
               baselines: bool = True) -> SweepResult:
@@ -258,7 +268,7 @@ class ExperimentRunner:
         return sweep
 
     def sweep_designs_by_name(self, design_names: Sequence[str],
-                              workloads: Sequence[Union[str, WorkloadSpec]],
+                              workloads: Sequence[Workload],
                               nm_gb: int = 1) -> SweepResult:
         """Convenience wrapper: designs given by their paper labels."""
         unknown = [d for d in design_names if d.upper() not in DESIGN_FACTORIES]

@@ -156,6 +156,12 @@ def simulate(system: MemorySystem,
             workload, per_core, num_cores=cores_wanted, scale=config.scale,
             seed=seed, address_limit=system.flat_capacity_bytes)
         name = workload.name
+    elif hasattr(workload, "load_traces"):
+        # Trace-backed workloads (repro.workloads.tracefile): the handle
+        # loads its file through the content-hashed mmap cache and splits
+        # the stream per core; num_references caps the total record count.
+        traces = workload.load_traces(num_references)
+        name = workload.name
     elif isinstance(workload, Trace):
         traces = [workload]
         name = "trace"

@@ -49,6 +49,7 @@ from ..baselines.base import MemorySystem
 from ..params import (CoreParams, DramParams, Hybrid2Params, SramCacheParams,
                       SystemConfig)
 from ..workloads.synthetic import WorkloadSpec
+from ..workloads.tracefile import TraceFileWorkload
 from . import faults
 from .simulator import RunResult, simulate
 from .store import CELL_OK
@@ -198,12 +199,15 @@ def coerce_design(design: Union[str, DesignRef, InlineDesign, Callable],
 # ---------------------------------------------------------------------------
 # jobs
 # ---------------------------------------------------------------------------
+AnyWorkload = Union[WorkloadSpec, TraceFileWorkload]
+
+
 @dataclass(frozen=True)
 class SweepJob:
     """One independent simulation cell of a sweep."""
 
     design: AnyDesign
-    workload: WorkloadSpec
+    workload: AnyWorkload
     config: SystemConfig
     num_references: int
     seed: int
@@ -227,11 +231,16 @@ class SweepJob:
         design = self.design.key_dict()
         if design is None:
             return None
+        # Trace-backed workloads key by content hash, not by path (see
+        # TraceFileWorkload.cache_dict): moving a trace file keeps its
+        # cells valid, editing its bytes invalidates them.
+        workload = getattr(self.workload, "cache_dict",
+                           self.workload.as_dict)()
         payload = {
             "engine": ENGINE_VERSION,
             "model": model_fingerprint(),
             "design": design,
-            "workload": self.workload.as_dict(),
+            "workload": workload,
             "config": asdict(self.config),
             "num_references": self.num_references,
             "seed": self.seed,
@@ -295,8 +304,15 @@ def job_from_spec(spec: Dict[str, Any]) -> SweepJob:
     design = spec["design"]
     ref = DesignRef(label=design["label"], target=design["target"],
                     kwargs=tuple(sorted(design.get("kwargs", {}).items())))
+    workload_spec = spec["workload"]
+    workload: AnyWorkload
+    if workload_spec.get("kind") == "tracefile":
+        workload = TraceFileWorkload.from_dict(workload_spec)
+    else:
+        workload = WorkloadSpec(**{k: v for k, v in workload_spec.items()
+                                   if k != "kind"})
     return SweepJob(design=ref,
-                    workload=WorkloadSpec(**spec["workload"]),
+                    workload=workload,
                     config=_config_from_dict(spec["config"]),
                     num_references=spec["num_references"],
                     seed=spec["seed"],

@@ -1,0 +1,55 @@
+"""Real trace ingestion: file formats, content-hashed mmap cache, ops.
+
+The frontend for driving the simulator with *external* memory traces
+instead of the synthetic generators:
+
+* :mod:`repro.trace.format` — strict TSV / gzip / CSV parsers and
+  writers with structured, line-numbered :class:`TraceParseError`s;
+* :mod:`repro.trace.cache` — a content-hashed sidecar directory of
+  memory-mappable ``.npy`` columns beside each source file;
+* :mod:`repro.trace.frontend` — :func:`load_trace` (cache-aware load),
+  :func:`subsample`, :func:`interleave_traces`.
+
+``python -m repro trace convert|inspect|subsample|interleave`` exposes
+the same operations on the command line, and
+:class:`repro.workloads.tracefile.TraceFileWorkload` carries a loaded
+trace through the sweep engine and the report gallery.
+"""
+
+from .cache import (CACHE_FORMAT_VERSION, CacheMeta, cache_dir_for,
+                    content_hash, drop_cache, load_cached, probe_cache,
+                    write_cache)
+from .format import (CSV_HEADER, DIALECT_CSV, DIALECT_TSV, TraceParseError,
+                     detect_dialect, is_gzipped, parse_trace, per_core_counts,
+                     write_csv, write_trace, write_tsv)
+from .frontend import (TraceLoadInfo, inspect_trace, interleave_traces,
+                       load_trace, load_trace_info, split_by_core, subsample)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CSV_HEADER",
+    "CacheMeta",
+    "DIALECT_CSV",
+    "DIALECT_TSV",
+    "TraceLoadInfo",
+    "TraceParseError",
+    "cache_dir_for",
+    "content_hash",
+    "detect_dialect",
+    "drop_cache",
+    "inspect_trace",
+    "interleave_traces",
+    "is_gzipped",
+    "load_cached",
+    "load_trace",
+    "load_trace_info",
+    "parse_trace",
+    "per_core_counts",
+    "probe_cache",
+    "split_by_core",
+    "subsample",
+    "write_cache",
+    "write_csv",
+    "write_trace",
+    "write_tsv",
+]

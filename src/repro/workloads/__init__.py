@@ -5,6 +5,8 @@ from .catalog import (MPKI_CLASSES, WORKLOADS, all_workload_names,
                       workloads_by_class)
 from .synthetic import (WorkloadSpec, generate_multiprogrammed, generate_trace,
                         random_pattern, stream_pattern)
+from .tracefile import (TraceFileWorkload, is_trace_token,
+                        workload_from_token)
 
 __all__ = [
     "MPKI_CLASSES",
@@ -13,9 +15,12 @@ __all__ = [
     "get_workload",
     "representative_workloads",
     "workloads_by_class",
+    "TraceFileWorkload",
     "WorkloadSpec",
     "generate_multiprogrammed",
     "generate_trace",
+    "is_trace_token",
     "random_pattern",
     "stream_pattern",
+    "workload_from_token",
 ]

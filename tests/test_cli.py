@@ -94,8 +94,8 @@ def test_workloads_listing(capsys):
 def test_report_list(capsys):
     assert main(["report", "--list"]) == 0
     out = capsys.readouterr().out
-    assert "fig12" in out and "table2" in out and "perf" in out
-    assert len(out.strip().splitlines()) == 13
+    assert "fig12" in out and "table2" in out and "trace01" in out
+    assert len(out.strip().splitlines()) == 14
 
 
 def test_report_single_bench_writes_gallery_and_artifacts(tmp_path, capsys):
@@ -179,3 +179,97 @@ def test_store_fsck_detects_quarantines_and_repairs(tmp_path, capsys):
     assert main(["store", "fsck", "--store", store, "--repair"]) == 0
     assert "1 repaired" in capsys.readouterr().out
     assert path.read_bytes() == pristine
+
+
+# ---------------------------------------------------------------------------
+# trace subcommands
+# ---------------------------------------------------------------------------
+def write_demo_trace(tmp_path, name="demo.tsv", records=40):
+    from repro.trace import write_trace
+    from repro.workloads import get_workload
+    from repro.workloads.synthetic import generate_trace
+
+    path = tmp_path / name
+    write_trace(generate_trace(get_workload("mcf"), records, scale=1024,
+                               seed=9), path)
+    return path
+
+
+def test_trace_convert_builds_then_reuses_cache(tmp_path, capsys):
+    path = write_demo_trace(tmp_path)
+    assert main(["trace", "convert", str(path), "--json"]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["from_cache"] is False
+    assert first["records"] == 40
+    assert (tmp_path / "demo.tsv.trcache").is_dir()
+    assert main(["trace", "convert", str(path), "--json"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["from_cache"] is True
+    assert second["content_hash"] == first["content_hash"]
+    assert main(["trace", "convert", str(path), "--force", "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["from_cache"] is False
+
+
+def test_trace_inspect_json_shape(tmp_path, capsys):
+    path = write_demo_trace(tmp_path)
+    assert main(["trace", "inspect", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["records"] == 40
+    assert payload["cores"] == {"0": 40}
+    assert 0.0 <= payload["write_fraction"] <= 1.0
+    assert payload["instructions"] > payload["records"]
+    assert payload["footprint_bytes"] % 64 == 0
+    assert {"mpki", "demand_references", "path", "content_hash",
+            "from_cache"} <= set(payload)
+    # --no-cache parses the text directly and omits provenance keys.
+    assert main(["trace", "inspect", str(path), "--no-cache",
+                 "--json"]) == 0
+    uncached = json.loads(capsys.readouterr().out)
+    assert "from_cache" not in uncached
+    assert uncached["records"] == payload["records"]
+
+
+def test_trace_subsample_and_interleave(tmp_path, capsys):
+    a = write_demo_trace(tmp_path, "a.tsv")
+    b = write_demo_trace(tmp_path, "b.tsv")
+    cut = tmp_path / "cut.tsv"
+    assert main(["trace", "subsample", str(a), "--out", str(cut),
+                 "--first", "10", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == {"source": str(a), "out": str(cut),
+                       "records_in": 40, "records_out": 10}
+    merged = tmp_path / "merged.csv"
+    assert main(["trace", "interleave", str(a), str(b), "--out",
+                 str(merged), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cores"] == 2 and payload["records"] == 80
+    assert main(["trace", "inspect", str(merged), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["cores"] == {"0": 40,
+                                                            "1": 40}
+
+
+def test_trace_malformed_input_exits_2_with_line(tmp_path, capsys):
+    path = tmp_path / "bad.tsv"
+    path.write_text("0\t100\t0\n1\tzz\t0\n")
+    assert main(["trace", "inspect", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert f"{path}:2:" in err and "address" in err
+
+
+def test_trace_missing_file_exits_2(tmp_path, capsys):
+    assert main(["trace", "convert", str(tmp_path / "nope.tsv")]) == 2
+    assert "nope.tsv" in capsys.readouterr().err
+
+
+def test_sweep_accepts_trace_workload_tokens(tmp_path, capsys):
+    path = write_demo_trace(tmp_path, records=120)
+    out = tmp_path / "results.json"
+    code = main(["sweep", "--designs", "HYBRID2",
+                 "--workloads", f"trace:{path}",
+                 "--refs", "100", "--scale", "1024", "--no-store",
+                 "--out", str(out)])
+    assert code == 0
+    assert "2 simulated" in capsys.readouterr().out
+    payload = json.loads(out.read_text())
+    assert {run["workload"] for run in payload["runs"]} == {"demo"}
+    assert payload["speedups"]["HYBRID2"]["demo"] > 0

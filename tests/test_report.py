@@ -17,20 +17,22 @@ from repro.report.render import chart_for_table
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-#: Every bench of the paper's evaluation plus the engine-perf trajectory.
+#: Every bench of the paper's evaluation plus the engine-perf trajectory
+#: and the real-trace twin gallery page.
 EXPECTED_BENCHES = (
     "fig01", "fig02", "fig11", "fig12", "fig13", "fig14",
     "fig15", "fig16", "fig17", "fig18", "table1", "table2", "perf",
+    "trace01",
 )
 
 
 # ----------------------------------------------------------------------
 # registry completeness
 # ----------------------------------------------------------------------
-def test_all_13_benches_registered():
+def test_all_14_benches_registered():
     specs = all_benches()
     assert tuple(spec.name for spec in specs) == EXPECTED_BENCHES
-    assert len(specs) == 13
+    assert len(specs) == 14
 
 
 def test_specs_are_complete_and_slugs_unique():

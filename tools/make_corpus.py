@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Regenerate the checked-in trace corpus under tests/data/traces/.
+
+The corpus files are deterministic functions of the synthetic workload
+generators (fixed specs, fixed seeds, gzip with a zeroed mtime), so
+re-running this script always reproduces them byte-for-byte — any diff
+in a corpus file is a deliberate change, reviewable like code.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_corpus.py [--out-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.trace import interleave_traces, write_csv, write_tsv
+from repro.trace.cache import content_hash
+from repro.workloads import get_workload
+from repro.workloads.synthetic import generate_trace
+
+#: (filename, builder) pairs; every builder is fully seeded.
+CORPUS_SCALE = 1024
+
+
+def _stream8(out_dir: Path) -> Path:
+    """Plain-TSV single-core stream: lbm's streaming access pattern."""
+    trace = generate_trace(get_workload("lbm"), 2000, scale=CORPUS_SCALE,
+                           seed=2024)
+    path = out_dir / "stream8.tsv"
+    write_tsv(trace, path)
+    return path
+
+
+def _hotcold(out_dir: Path) -> Path:
+    """Gzip-TSV single-core trace: mcf's high-MPKI irregular pattern."""
+    trace = generate_trace(get_workload("mcf"), 3000, scale=CORPUS_SCALE,
+                           seed=77)
+    path = out_dir / "hotcold.tsv.gz"
+    write_tsv(trace, path)
+    return path
+
+
+def _mixed4(out_dir: Path) -> Path:
+    """CSV 4-core trace: two workload patterns interleaved round-robin."""
+    sources = []
+    for core, (name, seed) in enumerate([("mcf", 10), ("omnetpp", 11),
+                                         ("lbm", 12), ("roms", 13)]):
+        sources.append(generate_trace(
+            get_workload(name), 600, scale=CORPUS_SCALE, seed=seed,
+            base_address=core << 24))
+    path = out_dir / "mixed4.csv"
+    write_csv(interleave_traces(sources), path)
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir",
+                        default=str(Path(__file__).resolve().parent.parent
+                                    / "tests" / "data" / "traces"),
+                        help="corpus directory (default tests/data/traces)")
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for builder in (_stream8, _hotcold, _mixed4):
+        path = builder(out_dir)
+        print(f"wrote {path} ({path.stat().st_size} bytes, "
+              f"sha256 {content_hash(path)[:12]}…)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
