@@ -43,7 +43,10 @@ Subcommands:
 * ``workloads`` — list the Table 2 workload catalog.
 * ``store`` — inspect or clear the result store; ``store fsck`` verifies
   every cell's checksum, quarantines corruption (``--repair`` re-simulates
-  from the embedded job specs) and reaps orphaned temp files.
+  from the embedded job specs, ``--purge-quarantine`` empties the
+  post-mortem copies) and reaps orphaned temp files; ``store migrate
+  --dest sqlite:PATH`` converts between the JSON-file and sharded-SQLite
+  backends losslessly (statuses and checksums verified cell by cell).
 """
 
 from __future__ import annotations
@@ -130,8 +133,8 @@ def _add_sweep_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (1 = serial)")
     p.add_argument("--store", default=None, metavar="DIR",
-                   help=f"result-store directory (default "
-                        f"{default_store_root()})")
+                   help=f"result-store directory or json:/sqlite: URI "
+                        f"(default {default_store_root()})")
     p.add_argument("--no-store", action="store_true",
                    help="disable the persistent result store")
     p.add_argument("--no-baselines", action="store_true",
@@ -522,7 +525,8 @@ def _cmd_store(args: argparse.Namespace) -> int:
     if args.action == "fsck":
         report = store.fsck(repair=args.repair,
                             quarantine=not args.no_quarantine,
-                            reap_tmp=not args.keep_tmp)
+                            reap_tmp=not args.keep_tmp,
+                            purge_quarantine=args.purge_quarantine)
         print(report.summary())
         for issue in report.issues:
             detail = issue.status
@@ -534,13 +538,31 @@ def _cmd_store(args: argparse.Namespace) -> int:
                 detail += f" ({issue.error})"
             print(f"  {issue.key}: {detail}", file=sys.stderr)
         return 0 if report.clean else 1
+    if args.action == "migrate":
+        from .sim.store import migrate_store
+
+        if not args.dest:
+            raise ValueError(
+                "store migrate requires --dest "
+                "(e.g. --dest sqlite:/path/to/new-store)")
+        dest = ResultStore(args.dest)
+        report = migrate_store(store, dest)
+        print(f"migrate {store.root} ({store.backend.kind}) -> "
+              f"{dest.root} ({dest.backend.kind}): {report.summary()}")
+        for mismatch in report.mismatches:
+            print(f"  MISMATCH {mismatch}", file=sys.stderr)
+        return 0 if report.verified else 1
     if args.clear:
         removed = store.clear()
         print(f"removed {removed} cached results from {store.root}")
     else:
         tmp = len(store.tmp_files())
-        print(f"store {store.root}: {len(store)} cached results"
-              + (f", {tmp} orphaned tmp file(s)" if tmp else ""))
+        quarantined, _ = store.quarantine_stats()
+        print(f"store {store.root} ({store.backend.kind}): "
+              f"{len(store)} cached results"
+              + (f", {tmp} orphaned tmp file(s)" if tmp else "")
+              + (f", {quarantined} quarantined cell(s)"
+                 if quarantined else ""))
     return 0
 
 
@@ -559,13 +581,19 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="list the Table 2 workload catalog")
     p_workloads.add_argument("--class", dest="mpki_class", default=None,
                              choices=MPKI_CLASSES)
-    p_store = sub.add_parser("store",
-                             help="inspect, clear or fsck the result store")
+    p_store = sub.add_parser(
+        "store", help="inspect, clear, fsck or migrate the result store")
     p_store.add_argument("action", nargs="?", default=None,
-                         choices=("fsck",),
+                         choices=("fsck", "migrate"),
                          help="fsck: verify every cell's checksum, "
-                              "quarantine corruption, report orphans")
-    p_store.add_argument("--store", default=None, metavar="DIR")
+                              "quarantine corruption, report orphans; "
+                              "migrate: copy every cell into --dest "
+                              "(any backend), verifying statuses and "
+                              "checksums")
+    p_store.add_argument("--store", default=None, metavar="DIR",
+                         help="store directory or json:/sqlite: URI "
+                              "(default REPRO_STORE or .repro-store; "
+                              "plain paths honour REPRO_STORE_BACKEND)")
     p_store.add_argument("--clear", action="store_true")
     p_store.add_argument("--repair", action="store_true",
                          help="fsck: re-simulate corrupted cells from their "
@@ -576,6 +604,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_store.add_argument("--keep-tmp", action="store_true",
                          help="fsck: report stale tmp files without "
                               "deleting them")
+    p_store.add_argument("--purge-quarantine", action="store_true",
+                         help="fsck: delete every quarantined post-mortem "
+                              "copy after the scan")
+    p_store.add_argument("--dest", default=None, metavar="DIR",
+                         help="migrate: destination store directory or "
+                              "json:/sqlite: URI")
     return parser
 
 

@@ -51,7 +51,10 @@ class ReportSettings:
     scale: int = 256
     seed: int = 1
     workers: int = 1
-    store: Optional[str] = DEFAULT_STORE   # None disables caching
+    #: Store directory or ``sqlite:PATH`` / ``json:PATH`` backend URI
+    #: (plain paths honour ``REPRO_STORE_BACKEND``); ``None`` disables
+    #: caching.
+    store: Optional[str] = DEFAULT_STORE
     perf_refs: int = DEFAULT_PERF_REFS
     perf_repeat: int = DEFAULT_PERF_REPEAT
     #: Fail fast: re-raise the first bench/job failure instead of
@@ -115,7 +118,8 @@ def workers_from_env() -> int:
 
 
 def store_path_from_env() -> Optional[str]:
-    """``REPRO_BENCH_STORE``: store directory; ``0``/``off`` disables."""
+    """``REPRO_BENCH_STORE``: store directory or ``sqlite:``/``json:``
+    URI; ``0``/``off`` disables."""
     raw = os.environ.get("REPRO_BENCH_STORE", DEFAULT_STORE)
     if raw in ("0", "off", ""):
         return None

@@ -3,7 +3,8 @@
 from . import metrics, tables
 from .runner import ExperimentRunner, SweepResult
 from .simulator import RunResult, Simulator, simulate
-from .store import ResultStore, open_store
+from .store import (JsonFileBackend, ResultStore, SqliteBackend,
+                    StoreBackend, migrate_store, open_store)
 from .sweep import DesignRef, InlineDesign, SweepJob, SweepReport, run_jobs
 
 __all__ = [
@@ -15,6 +16,10 @@ __all__ = [
     "Simulator",
     "simulate",
     "ResultStore",
+    "StoreBackend",
+    "JsonFileBackend",
+    "SqliteBackend",
+    "migrate_store",
     "open_store",
     "DesignRef",
     "InlineDesign",

@@ -160,15 +160,33 @@ def should_corrupt(index: int, attempt: int) -> bool:
             and spec.fires(attempt))
 
 
-def corrupt_cell(path: Union[str, Path]) -> None:
-    """Mangle a stored cell in place: the result body no longer matches the
-    embedded checksum, but the payload stays parseable JSON with its job
-    description intact — exactly the damage ``fsck --repair`` can undo."""
-    path = Path(path)
-    payload = json.loads(path.read_text())
+def _mangle(payload: dict) -> dict:
+    """Damage a payload document so its checksum no longer matches, while
+    keeping it parseable JSON with the job description intact."""
     result = payload.get("result")
     if isinstance(result, dict) and "cycles" in result:
         result["cycles"] = float(result["cycles"]) + 1.0e9
     else:
         payload["checksum"] = "0" * 64
+    return payload
+
+
+def corrupt_cell(path: Union[str, Path]) -> None:
+    """Mangle a stored JSON-backend cell file in place: the result body no
+    longer matches the embedded checksum, but the payload stays parseable
+    JSON with its job description intact — exactly the damage ``fsck
+    --repair`` can undo.  Prefer :func:`corrupt_store_cell` in new code —
+    it works on any store backend."""
+    path = Path(path)
+    payload = _mangle(json.loads(path.read_text()))
     path.write_text(json.dumps(payload, sort_keys=True))
+
+
+def corrupt_store_cell(store, key: str) -> None:
+    """Backend-agnostic :func:`corrupt_cell`: mangle the cell stored under
+    ``key`` through the store's own payload API, so the same fault works
+    on JSON files and SQLite shards alike."""
+    payload = store.read_payload(key)
+    if payload is None:
+        raise KeyError(f"no readable payload for store key {key!r}")
+    store.write_payload(key, _mangle(payload))

@@ -347,13 +347,13 @@ class JobFailure:
     error_type: str          # exception class name, "Timeout", "WorkerDeath"
     message: str
     attempts: int            # attempts consumed (== max_attempts)
-    duration_s: float        # wall-clock of the last attempt
+    duration_s: float        # total wall-clock across every attempt
     traceback: Optional[str] = None
 
     def describe(self) -> str:
         return (f"job {self.index} ({self.label}/{self.workload}): "
                 f"{self.error_type}: {self.message} "
-                f"[{self.attempts} attempt(s), last {self.duration_s:.2f}s]")
+                f"[{self.attempts} attempt(s), {self.duration_s:.2f}s total]")
 
     def as_dict(self) -> dict:
         return {"index": self.index, "label": self.label,
@@ -534,13 +534,19 @@ class _Supervisor:
         self.ready: List[Tuple[float, int, int]] = [
             (0.0, i, 1) for i in indices]
         self.outstanding = len(indices)
+        # Wall-clock already spent per job across its failed attempts, so
+        # JobFailure.duration_s reports the *total* cost of the job — the
+        # same accounting as the serial path.
+        self.spent: Dict[int, float] = {}
 
     # -- retry bookkeeping ------------------------------------------------
     def _requeue_or_fail(self, index: int, attempt: int, error_type: str,
                          message: str, tb: Optional[str], duration: float,
                          on_failure: Callable[[int, JobFailure], None]
                          ) -> None:
+        total = self.spent.get(index, 0.0) + duration
         if attempt < self.max_attempts:
+            self.spent[index] = total
             delay = (self.backoff * (2 ** (attempt - 1))
                      if self.backoff > 0 else 0.0)
             self.ready.append((time.monotonic() + delay, index, attempt + 1))
@@ -551,7 +557,7 @@ class _Supervisor:
         on_failure(index, JobFailure(
             index=index, label=job.label, workload=job.workload.name,
             key=None, error_type=error_type, message=message,
-            attempts=attempt, duration_s=duration, traceback=tb))
+            attempts=attempt, duration_s=total, traceback=tb))
 
     # -- main loop --------------------------------------------------------
     def run(self, on_success: Callable[[int, int, RunResult], None],
@@ -696,18 +702,23 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
 
     pending: List[int] = []
     cached = 0
+    probes: Dict[str, Tuple[str, Optional[RunResult]]] = {}
     if store is not None and jobs:
         # Reap tempfiles orphaned by a previously killed writer.
         store.reap_tmp()
-    for i, job in enumerate(jobs):
-        if store is not None:
+        for i, job in enumerate(jobs):
             keys[i] = job.cache_key()
-            if keys[i] is not None:
-                status, hit = store.probe(keys[i])
-                if status == CELL_OK:
-                    results[i] = hit
-                    cached += 1
-                    continue
+        # One batched dedup probe instead of a read per job: on the SQLite
+        # backend this is one indexed query per shard, so a warm
+        # paper-scale sweep starts in milliseconds.
+        probes = store.probe_many([k for k in keys if k is not None])
+    for i, job in enumerate(jobs):
+        if keys[i] is not None:
+            status, hit = probes[keys[i]]
+            if status == CELL_OK:
+                results[i] = hit
+                cached += 1
+                continue
         pending.append(i)
 
     parallel: List[int] = []
@@ -732,7 +743,7 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
         if store is not None and keys[i] is not None:
             store.put(keys[i], result, job=jobs[i].spec_dict())
             if fault_plan and faults.should_corrupt(i, attempt):
-                faults.corrupt_cell(store.path_for(keys[i]))
+                faults.corrupt_store_cell(store, keys[i])
 
     def fail(i: int, failure: JobFailure) -> None:
         failure.key = keys[i]
@@ -750,13 +761,16 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
                                  backoff=backoff)
         supervisor.run(finish, fail, count_attempt)
     for i in serial:
+        # Accumulated across attempts so JobFailure.duration_s reports the
+        # job's total wall-clock, matching the parallel supervisor.
+        spent = 0.0
         for attempt in range(1, max_attempts + 1):
             count_attempt()
             started = time.monotonic()
             try:
                 result = _run_attempt(i, attempt, jobs[i])
             except Exception as exc:
-                duration = time.monotonic() - started
+                spent += time.monotonic() - started
                 if attempt < max_attempts:
                     if backoff > 0:
                         time.sleep(backoff * (2 ** (attempt - 1)))
@@ -765,7 +779,7 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
                     index=i, label=jobs[i].label,
                     workload=jobs[i].workload.name, key=keys[i],
                     error_type=type(exc).__name__, message=str(exc),
-                    attempts=attempt, duration_s=duration,
+                    attempts=attempt, duration_s=spent,
                     traceback=traceback_module.format_exc()))
                 break
             else:

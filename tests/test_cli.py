@@ -181,6 +181,53 @@ def test_store_fsck_detects_quarantines_and_repairs(tmp_path, capsys):
     assert path.read_bytes() == pristine
 
 
+def test_store_migrate_round_trip_via_cli(tmp_path, capsys):
+    from repro.sim.store import ResultStore
+
+    store = str(tmp_path / "store")
+    main(SWEEP_ARGS + ["--store", store, "--no-baselines"])
+    capsys.readouterr()
+    sqlite_uri = f"sqlite:{tmp_path / 'sqlite-store'}"
+    assert main(["store", "migrate", "--store", store,
+                 "--dest", sqlite_uri]) == 0
+    out = capsys.readouterr().out
+    assert "statuses and checksums verified" in out
+    # The migrated store serves the same cells; a sweep against it is
+    # fully cached.
+    assert main(SWEEP_ARGS + ["--store", sqlite_uri,
+                              "--no-baselines"]) == 0
+    assert "0 simulated" in capsys.readouterr().out
+    # And back again, to a fresh JSON directory.
+    back = f"json:{tmp_path / 'back'}"
+    assert main(["store", "migrate", "--store", sqlite_uri,
+                 "--dest", back]) == 0
+    assert "statuses and checksums verified" in capsys.readouterr().out
+    assert len(ResultStore(back)) == len(ResultStore(store))
+
+
+def test_store_migrate_requires_dest(tmp_path, capsys):
+    assert main(["store", "migrate", "--store",
+                 str(tmp_path / "store")]) == 2
+    assert "--dest" in capsys.readouterr().err
+
+
+def test_store_fsck_purge_quarantine(tmp_path, capsys):
+    from repro.sim.faults import corrupt_store_cell
+    from repro.sim.store import ResultStore
+
+    store = str(tmp_path / "store")
+    main(SWEEP_ARGS + ["--store", store, "--no-baselines"])
+    handle = ResultStore(store)
+    corrupt_store_cell(handle, next(iter(handle.keys())))
+    capsys.readouterr()
+    assert main(["store", "fsck", "--store", store]) == 1
+    assert "quarantine holds 1" in capsys.readouterr().out
+    assert main(["store", "fsck", "--store", store,
+                 "--purge-quarantine"]) == 0
+    assert "1 quarantined cell(s) purged" in capsys.readouterr().out
+    assert ResultStore(store).quarantine_stats() == (0, 0)
+
+
 # ---------------------------------------------------------------------------
 # trace subcommands
 # ---------------------------------------------------------------------------

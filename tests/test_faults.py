@@ -249,6 +249,58 @@ def test_corrupt_write_is_detected_and_resimulated(monkeypatch, tmp_path):
     assert (second.results[0].as_dict() == first.results[0].as_dict())
 
 
+def test_corrupt_write_self_heals_on_sqlite_backend(monkeypatch, tmp_path):
+    """The corrupt-mode fault and the self-heal loop work identically
+    against the sharded SQLite backend (no cell files to mangle — the
+    fault goes through the store's payload API)."""
+    store = ResultStore(f"sqlite:{tmp_path}")
+    assert store.backend.kind == "sqlite"
+    jobs = make_jobs(2)
+    plan_env(monkeypatch, FaultSpec(job=0, mode="corrupt", attempts=1))
+    first = run_jobs(jobs, workers=1, store=store, max_attempts=1)
+    assert first.complete
+    key = jobs[0].cache_key()
+    assert store.probe(key)[0] == CELL_CORRUPT
+    monkeypatch.delenv(faults.ENV_VAR)
+    second = run_jobs(jobs, workers=1, store=store)
+    assert second.cached == 1 and second.simulated == 1
+    assert store.probe(key)[0] == CELL_OK
+
+
+#: Wall-clock burned by every attempt of the slow-failing design below.
+SLOW_FAIL_S = 0.12
+
+
+def slow_exploding_design(config):
+    """Module-level factory (importable by worker processes): every build
+    burns measurable wall-clock, then fails."""
+    time.sleep(SLOW_FAIL_S)
+    raise RuntimeError("injected slow failure")
+
+
+def test_failure_duration_totals_attempts_on_both_paths():
+    """Satellite: ``JobFailure.duration_s`` is the job's *total* wall-clock
+    across every attempt on the serial and the parallel path alike (the
+    serial path used to report only the final attempt's duration)."""
+    from repro.sim.sweep import DesignRef
+
+    slow_job = SweepJob(
+        design=DesignRef.of("tests.test_faults:slow_exploding_design",
+                            label="SLOWFAIL"),
+        workload=get_workload(WORKLOAD_NAMES[0]),
+        config=make_config(nm_gb=1, fm_gb=16, scale=SCALE),
+        num_references=REFS, seed=1)
+    serial = run_jobs([slow_job], workers=1, max_attempts=3, backoff=0)
+    parallel = run_jobs([slow_job] + make_jobs(1), workers=2,
+                        max_attempts=3, backoff=0)
+    for report in (serial, parallel):
+        assert [f.index for f in report.failures] == [0]
+        failure = report.failures[0]
+        assert failure.error_type == "RuntimeError"
+        assert failure.attempts == 3
+        assert failure.duration_s >= 3 * SLOW_FAIL_S
+
+
 def test_job_spec_round_trips_to_identical_cache_key():
     job = make_jobs(1)[0]
     rebuilt = job_from_spec(job.spec_dict())
@@ -291,7 +343,9 @@ def test_killed_sweep_resumes_from_persisted_cells(monkeypatch, tmp_path):
     try:
         deadline = time.monotonic() + 120.0
         while time.monotonic() < deadline:
-            if len(list(store_dir.glob("*.json"))) >= 3:
+            # Count through the store API, not a *.json glob, so the poll
+            # works whatever backend REPRO_STORE_BACKEND selects.
+            if store_dir.is_dir() and len(ResultStore(store_dir)) >= 3:
                 break
             if victim.poll() is not None:
                 pytest.fail(f"sweep exited early (rc {victim.returncode}) "
