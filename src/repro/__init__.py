@@ -31,7 +31,27 @@ from .sim.store import ResultStore
 from .sim.sweep import DesignRef, SweepJob, run_jobs
 from .sim import metrics
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def package_version() -> str:
+    """The installed package version, single-sourced from metadata.
+
+    Prefers the installed distribution's metadata (pyproject reads its
+    version *from* ``__version__``, so the two cannot drift by more than
+    a stale install) and falls back to ``__version__`` for source-tree
+    ``PYTHONPATH=src`` usage.  Deployed servers surface this through
+    ``python -m repro --version`` and the ``X-Repro-Version`` response
+    header of every serve-layer response.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:              # pragma: no cover - py<3.8 only
+        return __version__
+    try:
+        return version("hybrid2-repro")
+    except PackageNotFoundError:
+        return __version__
 
 __all__ = [
     "CoreParams",
@@ -67,4 +87,5 @@ __all__ = [
     "run_jobs",
     "metrics",
     "__version__",
+    "package_version",
 ]

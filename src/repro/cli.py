@@ -37,6 +37,17 @@ Subcommands:
       python -m repro trace inspect traces/mcf.tsv --json
       python -m repro sweep --designs HYBRID2 --workloads trace:traces/mcf.tsv
 
+* ``serve`` — start the results-serving HTTP API (``repro.serve``): store
+  cells, bench slices and on-demand SVG charts on the read path (LRU
+  response cache + ETags), job submission with store/in-flight dedup and
+  long-poll progress on the write path::
+
+      python -m repro serve --port 8765 --store .repro-store
+      curl http://127.0.0.1:8765/v1/benches
+
+* ``serve-bench`` — drive the serve layer with the built-in load
+  generator and write/gate ``BENCH_serve.json`` (structural gates only:
+  zero errors, warm conditional requests served as ``304``).
 * ``apidoc`` — (re)generate ``docs/api.md`` from the ``repro.baselines``
   docstrings; ``--check`` fails when the page drifted from the code.
 * ``designs`` — list the design registry (paper labels).
@@ -46,7 +57,15 @@ Subcommands:
   from the embedded job specs, ``--purge-quarantine`` empties the
   post-mortem copies) and reaps orphaned temp files; ``store migrate
   --dest sqlite:PATH`` converts between the JSON-file and sharded-SQLite
-  backends losslessly (statuses and checksums verified cell by cell).
+  backends losslessly (statuses and checksums verified cell by cell);
+  ``store stats`` summarises cell health.  ``fsck``/``migrate``/``stats``
+  take ``--json`` for machine-readable reports, as do ``designs`` and
+  ``workloads`` (the same serializers that back the serve layer's
+  ``/v1/designs`` and ``/v1/workloads`` endpoints).
+
+``python -m repro --version`` prints the package version, single-sourced
+from ``repro.__version__`` (the serve layer surfaces the same value in
+its ``X-Repro-Version`` response header).
 """
 
 from __future__ import annotations
@@ -56,6 +75,7 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from . import package_version
 from .baselines import DESIGN_FACTORIES, EVALUATED_DESIGNS
 from .sim.runner import ExperimentRunner
 from .sim.store import ResultStore, default_store_root
@@ -477,6 +497,123 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("serve",
+                       help="serve the result store, bench registry and "
+                            "job queue over HTTP (repro.serve)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8765,
+                   help="listen port; 0 picks an ephemeral port "
+                        "(default 8765)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help=f"result-store directory or json:/sqlite: URI "
+                        f"(default {default_store_root()})")
+    p.add_argument("--workers", type=int, default=1,
+                   help="job-queue worker threads (default 1)")
+    p.add_argument("--read-only", action="store_true",
+                   help="open the store read-only and disable job "
+                        "submission (safe beside live sweep writers)")
+    p.add_argument("--artifacts", default=None, metavar="DIR",
+                   help="bench-artifact directory served by /v1/charts "
+                        "and /v1/benches/<name> (default artifacts/)")
+    p.add_argument("--cache-size", type=int, default=128,
+                   help="response-cache entries (default 128)")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeApp, make_server
+
+    app = ServeApp(args.store, read_only=args.read_only,
+                   queue_workers=args.workers,
+                   cache_capacity=args.cache_size,
+                   artifacts_dir=args.artifacts)
+    server = make_server(app, args.host, args.port)
+    host, port = server.server_address[:2]
+    mode = "read-only" if app.read_only else "read-write"
+    print(f"repro serve {package_version()}: http://{host}:{port} "
+          f"(store {app.store.root} [{app.store.backend.kind}, {mode}], "
+          f"artifacts {app.artifacts_dir})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:           # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+        app.close()
+    return 0
+
+
+def _add_serve_bench_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("serve-bench",
+                       help="drive the serve layer with the load "
+                            "generator and write BENCH_serve.json")
+    p.add_argument("--url", default=None, metavar="URL",
+                   help="measure a running server instead of starting "
+                        "an in-process one")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="store for the in-process server (ignored with "
+                        "--url)")
+    p.add_argument("--artifacts", default=None, metavar="DIR",
+                   help="artifact directory for the in-process server")
+    p.add_argument("--warm", type=int, default=5,
+                   help="conditional re-requests per endpoint "
+                        "(default 5)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the benchmark payload JSON here")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="gate structural metrics against this stored "
+                        "baseline")
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import threading
+
+    from .serve import ServeApp, make_server
+    from .serve import loadgen
+
+    app = server = thread = None
+    url = args.url
+    if url is None:
+        app = ServeApp(args.store, artifacts_dir=args.artifacts)
+        server = make_server(app, "127.0.0.1", 0)
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+    try:
+        payload = loadgen.run_loadgen(url, warm_requests=args.warm)
+    finally:
+        if server is not None:
+            server.shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
+            app.close()
+    print(f"serve-bench {url}: {payload['requests']} requests, "
+          f"{payload['errors']} error(s), {payload['rps']} req/s, "
+          f"warm 304 ratio {payload['warm_304_ratio']}")
+    for alias, entry in sorted(payload["endpoints"].items()):
+        print(f"  {alias:24s} cold {entry['cold_status']} "
+              f"{entry['cold_ms']:8.2f} ms   warm p50 "
+              f"{entry['warm_p50_ms']:7.2f} ms  p95 "
+              f"{entry['warm_p95_ms']:7.2f} ms")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        failures = loadgen.compare_to_baseline(payload, baseline)
+        if failures:
+            for failure in failures:
+                print(f"SERVE REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no structural regression vs {args.baseline}")
+    return 0
+
+
 def _add_apidoc_parser(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("apidoc",
                        help="generate docs/api.md from the baselines "
@@ -503,7 +640,13 @@ def _cmd_apidoc(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_designs(_args: argparse.Namespace) -> int:
+def _cmd_designs(args: argparse.Namespace) -> int:
+    if args.json:
+        from .serve.schemas import design_entries
+
+        print(json.dumps({"designs": design_entries()}, indent=2,
+                         sort_keys=True))
+        return 0
     for name in DESIGN_FACTORIES:
         marker = "*" if name in EVALUATED_DESIGNS else " "
         print(f"{marker} {name}")
@@ -512,6 +655,12 @@ def _cmd_designs(_args: argparse.Namespace) -> int:
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
+    if args.json:
+        from .serve.schemas import workload_entries
+
+        print(json.dumps({"workloads": workload_entries(args.mpki_class)},
+                         indent=2, sort_keys=True))
+        return 0
     specs = (workloads_by_class(args.mpki_class) if args.mpki_class
              else WORKLOADS)
     for spec in specs:
@@ -527,6 +676,9 @@ def _cmd_store(args: argparse.Namespace) -> int:
                             quarantine=not args.no_quarantine,
                             reap_tmp=not args.keep_tmp,
                             purge_quarantine=args.purge_quarantine)
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+            return 0 if report.clean else 1
         print(report.summary())
         for issue in report.issues:
             detail = issue.status
@@ -547,11 +699,25 @@ def _cmd_store(args: argparse.Namespace) -> int:
                 "(e.g. --dest sqlite:/path/to/new-store)")
         dest = ResultStore(args.dest)
         report = migrate_store(store, dest)
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+            return 0 if report.verified else 1
         print(f"migrate {store.root} ({store.backend.kind}) -> "
               f"{dest.root} ({dest.backend.kind}): {report.summary()}")
         for mismatch in report.mismatches:
             print(f"  MISMATCH {mismatch}", file=sys.stderr)
         return 0 if report.verified else 1
+    if args.action == "stats":
+        stats = store.stats_dict()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print(f"store {stats['root']} ({stats['backend']}"
+              + (", read-only" if stats["read_only"] else "") + ")")
+        for field in ("cells", "ok", "stale", "corrupt", "unreadable",
+                      "tmp_files", "quarantined_cells", "quarantine_bytes"):
+            print(f"  {field:18s} {stats[field]}")
+        return 0
     if args.clear:
         removed = store.clear()
         print(f"removed {removed} cached results from {store.root}")
@@ -570,26 +736,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Hybrid2 reproduction: parallel design-space sweeps")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
     _add_sweep_parser(sub)
     _add_bench_parser(sub)
     _add_report_parser(sub)
     _add_trace_parser(sub)
+    _add_serve_parser(sub)
+    _add_serve_bench_parser(sub)
     _add_apidoc_parser(sub)
-    sub.add_parser("designs", help="list the design registry")
+    p_designs = sub.add_parser("designs", help="list the design registry")
+    p_designs.add_argument("--json", action="store_true",
+                           help="emit the /v1/designs JSON schema")
     p_workloads = sub.add_parser("workloads",
                                  help="list the Table 2 workload catalog")
     p_workloads.add_argument("--class", dest="mpki_class", default=None,
                              choices=MPKI_CLASSES)
+    p_workloads.add_argument("--json", action="store_true",
+                             help="emit the /v1/workloads JSON schema")
     p_store = sub.add_parser(
-        "store", help="inspect, clear, fsck or migrate the result store")
+        "store", help="inspect, clear, fsck, migrate the result store "
+                      "or print its stats")
     p_store.add_argument("action", nargs="?", default=None,
-                         choices=("fsck", "migrate"),
+                         choices=("fsck", "migrate", "stats"),
                          help="fsck: verify every cell's checksum, "
                               "quarantine corruption, report orphans; "
                               "migrate: copy every cell into --dest "
                               "(any backend), verifying statuses and "
-                              "checksums")
+                              "checksums; stats: cell-health summary")
     p_store.add_argument("--store", default=None, metavar="DIR",
                          help="store directory or json:/sqlite: URI "
                               "(default REPRO_STORE or .repro-store; "
@@ -610,6 +785,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_store.add_argument("--dest", default=None, metavar="DIR",
                          help="migrate: destination store directory or "
                               "json:/sqlite: URI")
+    p_store.add_argument("--json", action="store_true",
+                         help="fsck/migrate/stats: print the full report "
+                              "as JSON instead of a summary line")
     return parser
 
 
@@ -620,6 +798,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _cmd_bench,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
+        "serve-bench": _cmd_serve_bench,
         "apidoc": _cmd_apidoc,
         "designs": _cmd_designs,
         "workloads": _cmd_workloads,

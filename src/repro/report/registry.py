@@ -55,6 +55,13 @@ class Expectation:
     rel_tol: Optional[float] = None
     abs_tol: Optional[float] = None
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-pure description (the serve layer and ``--json`` listings
+        share this schema with the artifact pipeline)."""
+        return {"label": self.label, "path": list(self.path),
+                "published": self.published, "unit": self.unit,
+                "rel_tol": self.rel_tol, "abs_tol": self.abs_tol}
+
     def evaluate(self, raw: Mapping[str, Any]) -> Dict[str, Any]:
         """Compare the measured value in ``raw`` against the published one."""
         out: Dict[str, Any] = {
@@ -175,6 +182,27 @@ class BenchSpec:
     def evaluate(self, result: BenchResult) -> List[Dict[str, Any]]:
         """Evaluate every expectation against ``result.raw``."""
         return [exp.evaluate(result.raw) for exp in self.expectations]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The bench as data: identity, published expectations, landmarks.
+
+        The runnable parts (``run``/``check``) are callables and stay
+        behind — consumers get ``has_check`` instead.  This one schema
+        backs both ``python -m repro report --list --json`` style listings
+        and the serve layer's ``/v1/benches`` endpoints, so a bench is
+        described identically no matter which frontend asked.
+        """
+        return {
+            "name": self.name,
+            "slug": self.slug,
+            "title": self.title,
+            "paper_ref": self.paper_ref,
+            "description": self.description,
+            "landmarks": self.landmarks,
+            "uses_sweep": self.uses_sweep,
+            "has_check": self.check is not None,
+            "expectations": [exp.as_dict() for exp in self.expectations],
+        }
 
 
 #: Registration order is the order of the paper's evaluation — it drives

@@ -1,0 +1,37 @@
+"""Results-serving layer: the persistent store as a queryable HTTP API.
+
+``python -m repro serve`` turns a result store plus the bench registry
+into a small read/write service built entirely on the standard library
+(:class:`http.server.ThreadingHTTPServer` + ``json`` — no new
+dependencies):
+
+* **read path** — ``GET /v1/cells/<key>`` serves verified store cells,
+  ``GET /v1/benches[/<name>]`` serves registry-backed bench slices,
+  ``GET /v1/charts/<name>.svg`` renders SVG charts on demand, all
+  through an in-process LRU response cache
+  (:class:`~repro.serve.respcache.ResponseCache`) with content-hash
+  ETags, so a warm client re-request is a ``304``;
+* **write path** — ``POST /v1/jobs`` submits design x workload specs
+  through the existing :func:`~repro.sim.sweep.job_from_spec` /
+  :func:`~repro.sim.sweep.run_jobs` machinery into a background
+  executor (:class:`~repro.serve.jobqueue.JobQueue`) with priority
+  scheduling and dedup against both the store and in-flight jobs;
+  ``GET /v1/jobs/<id>/events`` long-polls structured progress,
+  including the sweep engine's retry/failure records.
+
+Every response carries an ``X-Repro-Version`` header (see
+:func:`repro.package_version`).
+"""
+
+from .app import Response, ServeApp, make_server
+from .jobqueue import JobQueue, JobSpecError
+from .respcache import ResponseCache
+
+__all__ = [
+    "Response",
+    "ServeApp",
+    "make_server",
+    "JobQueue",
+    "JobSpecError",
+    "ResponseCache",
+]

@@ -1,0 +1,182 @@
+"""Serve-layer load generator (``python -m repro serve-bench``).
+
+Drives every read-path endpoint family of a running server — one cold
+request, then ``warm_requests`` conditional re-requests replaying the
+cold response's ETag — and reports latency percentiles, throughput and
+the warm ``304`` ratio as a ``BENCH_serve.json`` payload.
+
+The regression gate (:func:`compare_to_baseline`) is **structural**, not
+temporal: wall-clock latencies are machine-dependent and never gated;
+what must hold anywhere is that every endpoint answers without errors
+and that every cacheable endpoint serves its warm re-requests as
+``304`` straight from the response cache.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+#: Bump when the payload layout changes.
+BENCH_FORMAT = 1
+
+#: Read-path endpoint families driven against every server.  ``expect_304``
+#: marks the cacheable ones whose warm conditional re-requests must come
+#: back ``304`` from the response cache.
+STATIC_ENDPOINTS: Tuple[Tuple[str, bool], ...] = (
+    ("/v1/health", False),
+    ("/v1/designs", True),
+    ("/v1/workloads", True),
+    ("/v1/benches", True),
+    ("/v1/cells", False),
+)
+
+#: Aliases for store-dependent endpoints (the concrete key differs per
+#: store, so payloads and baselines use these stable names).
+CELL_ALIAS = "/v1/cells/<key>"
+CHART_ALIAS = "/v1/charts/<key>.svg"
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class _Client:
+    """Minimal keep-alive HTTP client over ``http.client``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(f"serve-bench needs an http://host:port URL "
+                             f"(got {base_url!r})")
+        self.conn = http.client.HTTPConnection(
+            parts.hostname, parts.port or 80, timeout=timeout)
+
+    def get(self, path: str, etag: Optional[str] = None
+            ) -> Tuple[int, Optional[str], bytes, float]:
+        headers = {"If-None-Match": etag} if etag else {}
+        start = time.perf_counter()
+        self.conn.request("GET", path, headers=headers)
+        response = self.conn.getresponse()
+        body = response.read()
+        elapsed = time.perf_counter() - start
+        return (response.status, response.getheader("ETag"), body,
+                elapsed * 1000.0)
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def _discover_cell(client: _Client) -> Optional[str]:
+    status, _, body, _ = client.get("/v1/cells?limit=1")
+    if status != 200:
+        return None
+    keys = json.loads(body.decode()).get("keys") or []
+    return keys[0] if keys else None
+
+
+def run_loadgen(base_url: str, warm_requests: int = 5) -> Dict[str, Any]:
+    """Measure every endpoint family of the server at ``base_url``."""
+    client = _Client(base_url)
+    targets: List[Tuple[str, str, bool]] = [
+        (path, path, expect) for path, expect in STATIC_ENDPOINTS]
+    key = _discover_cell(client)
+    if key is not None:
+        targets.append((CELL_ALIAS, f"/v1/cells/{key}", True))
+        targets.append((CHART_ALIAS, f"/v1/charts/{key}.svg", True))
+
+    endpoints: Dict[str, Dict[str, Any]] = {}
+    started = time.perf_counter()
+    total = errors = warm_total = warm_304 = 0
+    for alias, path, expect_304 in targets:
+        latencies: List[float] = []
+        endpoint_errors = 0
+        status, etag, _, cold_ms = client.get(path)
+        total += 1
+        if status != 200:
+            endpoint_errors += 1
+        statuses = []
+        for _ in range(max(0, warm_requests)):
+            warm_status, _, _, warm_ms = client.get(path, etag=etag)
+            total += 1
+            warm_total += 1
+            latencies.append(warm_ms)
+            statuses.append(warm_status)
+            if warm_status == 304:
+                warm_304 += 1
+            elif warm_status != 200:
+                endpoint_errors += 1
+        errors += endpoint_errors
+        endpoints[alias] = {
+            "path": path,
+            "expect_304": expect_304,
+            "cold_status": status,
+            "cold_ms": round(cold_ms, 3),
+            "warm_statuses": statuses,
+            "warm_p50_ms": round(_percentile(latencies, 0.50), 3),
+            "warm_p95_ms": round(_percentile(latencies, 0.95), 3),
+            "errors": endpoint_errors,
+        }
+    elapsed = time.perf_counter() - started
+    client.close()
+    cacheable_warm = sum(
+        1 for e in endpoints.values() if e["expect_304"]
+        for s in e["warm_statuses"])
+    cacheable_304 = sum(
+        1 for e in endpoints.values() if e["expect_304"]
+        for s in e["warm_statuses"] if s == 304)
+    return {
+        "format": BENCH_FORMAT,
+        "base_url": base_url,
+        "warm_requests": warm_requests,
+        "requests": total,
+        "errors": errors,
+        "elapsed_s": round(elapsed, 4),
+        "rps": round(total / elapsed, 1) if elapsed > 0 else 0.0,
+        "warm_304_ratio": (round(cacheable_304 / cacheable_warm, 4)
+                           if cacheable_warm else 0.0),
+        "endpoints": endpoints,
+    }
+
+
+def compare_to_baseline(payload: Dict[str, Any],
+                        baseline: Dict[str, Any]) -> List[str]:
+    """Structural regressions of ``payload`` against ``baseline``.
+
+    Gated: the endpoint families answered, zero errors, and the warm
+    ``304`` ratio of the cacheable endpoints.  Latencies are reported
+    but never gated — they measure the machine, not the code.
+    """
+    failures: List[str] = []
+    expected = set(baseline.get("endpoints", {}))
+    measured = set(payload.get("endpoints", {}))
+    missing = sorted(expected - measured)
+    if missing:
+        failures.append(f"endpoint families missing from this run: "
+                        f"{missing}")
+    if payload.get("errors", 0) > baseline.get("max_errors", 0):
+        failures.append(f"{payload['errors']} request error(s) "
+                        f"(allowed: {baseline.get('max_errors', 0)})")
+    floor = baseline.get("min_warm_304_ratio", 1.0)
+    if payload.get("warm_304_ratio", 0.0) < floor:
+        failures.append(
+            f"warm 304 ratio {payload.get('warm_304_ratio')} below the "
+            f"baseline floor {floor} (response cache not serving "
+            f"conditional re-requests)")
+    for alias, entry in payload.get("endpoints", {}).items():
+        if entry["expect_304"] and any(s != 304
+                                       for s in entry["warm_statuses"]):
+            failures.append(f"{alias}: warm conditional request(s) were "
+                            f"not 304 ({entry['warm_statuses']})")
+        if entry["cold_status"] != 200:
+            failures.append(f"{alias}: cold request answered "
+                            f"{entry['cold_status']}")
+    return failures

@@ -1,0 +1,126 @@
+"""In-process LRU response cache with content-hash ETags.
+
+Caches rendered ``200`` responses by request path.  Every entry carries
+
+* an **ETag** — a hash of the response body, so it changes exactly when
+  the content changes (a cell's body embeds the store's payload
+  checksum, so cell ETags are content hashes of the stored result too);
+* a **source fingerprint** — ``(mtime_ns, size)`` of every file the
+  response was rendered from (bench artifacts, chart inputs).  A hit is
+  revalidated against the current stats before it is served, so
+  regenerating an artifact on disk invalidates its cached responses
+  without any explicit purge.
+
+A client that replays the ETag via ``If-None-Match`` gets a ``304 Not
+Modified`` with an empty body; the app layer handles that comparison —
+the cache only stores and revalidates.
+
+Thread-safe: one lock around the ``OrderedDict`` (entries are immutable
+once stored), so every ``ThreadingHTTPServer`` handler thread shares one
+cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: ``(path, (mtime_ns, size) | None)`` — ``None`` records "file was
+#: absent when rendered", so a file *appearing* also invalidates.
+SourceSig = Tuple[str, Optional[Tuple[int, int]]]
+
+
+def source_sig(path: str) -> SourceSig:
+    """Fingerprint one source file by ``(mtime_ns, size)``."""
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return (path, None)
+    return (path, (stat.st_mtime_ns, stat.st_size))
+
+
+def etag_of(body: bytes) -> str:
+    """Strong ETag for a response body (quoted, per RFC 9110)."""
+    return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
+
+
+@dataclass
+class CacheEntry:
+    """One cached 200 response."""
+
+    body: bytes
+    content_type: str
+    etag: str
+    sources: Tuple[SourceSig, ...] = ()
+
+
+@dataclass
+class CacheStats:
+    """Occupancy and hit accounting (surfaced by ``/v1/health``)."""
+
+    hits: int = 0
+    misses: int = 0
+    revalidation_evictions: int = 0
+    entries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "revalidation_evictions": self.revalidation_evictions,
+                "entries": self.entries}
+
+
+@dataclass
+class ResponseCache:
+    """Bounded LRU of rendered responses, keyed by request path."""
+
+    capacity: int = 128
+    _entries: "OrderedDict[str, CacheEntry]" = field(
+        default_factory=OrderedDict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def get(self, path: str) -> Optional[CacheEntry]:
+        """Cached entry for ``path``, revalidated against its sources."""
+        with self._lock:
+            entry = self._entries.get(path)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            for source, sig in entry.sources:
+                if source_sig(source) != (source, sig):
+                    # A source file changed (or appeared/vanished) since
+                    # the response was rendered: drop the entry and make
+                    # the caller re-render.
+                    del self._entries[path]
+                    self.stats.revalidation_evictions += 1
+                    self.stats.misses += 1
+                    self.stats.entries = len(self._entries)
+                    return None
+            self._entries.move_to_end(path)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, path: str, entry: CacheEntry) -> None:
+        with self._lock:
+            self._entries[path] = entry
+            self._entries.move_to_end(path)
+            while len(self._entries) > max(1, self.capacity):
+                self._entries.popitem(last=False)
+            self.stats.entries = len(self._entries)
+
+    def invalidate(self, prefix: str = "") -> int:
+        """Drop every entry whose path starts with ``prefix``."""
+        with self._lock:
+            doomed = [p for p in self._entries if p.startswith(prefix)]
+            for path in doomed:
+                del self._entries[path]
+            self.stats.entries = len(self._entries)
+            return len(doomed)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -41,6 +41,7 @@ import json
 import os
 import sqlite3
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -134,6 +135,10 @@ def default_store_root() -> str:
     return os.environ.get("REPRO_STORE", DEFAULT_STORE_DIR)
 
 
+class StoreReadOnlyError(RuntimeError):
+    """A write was attempted on a store opened with ``read_only=True``."""
+
+
 def _check_key(key: str) -> str:
     if not key or any(c in key for c in "/\\."):
         raise ValueError(f"malformed store key {key!r}")
@@ -179,6 +184,16 @@ class StoreBackend:
 
     kind: str = "abstract"
     root: Path
+    #: Opened via ``read_only=True``: every mutation raises
+    #: :class:`StoreReadOnlyError` and hygiene (tmp reaping) is a no-op,
+    #: so a long-lived reader (``repro serve``) can share a store with
+    #: concurrent sweep writers without ever racing them.
+    read_only: bool = False
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise StoreReadOnlyError(
+                f"store {self.root} was opened read-only")
 
     # -- required primitives ----------------------------------------------
     def fetch_many(self, keys: Sequence[str]) -> Dict[str, CellRecord]:
@@ -248,8 +263,10 @@ class JsonFileBackend(StoreBackend):
 
     kind = "json"
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path],
+                 read_only: bool = False) -> None:
         self.root = Path(root)
+        self.read_only = read_only
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{_check_key(key)}.json"
@@ -280,6 +297,7 @@ class JsonFileBackend(StoreBackend):
         return {key: self.fetch(key) for key in keys}
 
     def _write_text(self, key: str, text: str) -> None:
+        self._check_writable()
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
         try:
@@ -300,6 +318,7 @@ class JsonFileBackend(StoreBackend):
         self._write_text(key, text)
 
     def delete(self, key: str) -> bool:
+        self._check_writable()
         try:
             self.path_for(key).unlink()
             return True
@@ -312,6 +331,7 @@ class JsonFileBackend(StoreBackend):
         return sorted(path.stem for path in self.root.glob("*.json"))
 
     def quarantine(self, key: str) -> Optional[str]:
+        self._check_writable()
         src = self.path_for(key)
         dst_dir = self.root / QUARANTINE_DIR
         try:
@@ -345,6 +365,7 @@ class JsonFileBackend(StoreBackend):
         return len(files), total
 
     def purge_quarantine(self) -> int:
+        self._check_writable()
         removed = 0
         for path in self._quarantine_files():
             try:
@@ -355,6 +376,7 @@ class JsonFileBackend(StoreBackend):
         return removed
 
     def clear(self) -> int:
+        self._check_writable()
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
@@ -383,6 +405,8 @@ class JsonFileBackend(StoreBackend):
         return out
 
     def reap_tmp(self, max_age_s: float = STALE_TMP_AGE_S) -> int:
+        if self.read_only:       # hygiene, not data: skip silently
+            return 0
         reaped = 0
         for path in self.tmp_files(min_age_s=max_age_s):
             try:
@@ -435,8 +459,10 @@ class SqliteBackend(StoreBackend):
     )
 
     def __init__(self, root: Union[str, Path],
-                 shards: Optional[int] = None) -> None:
+                 shards: Optional[int] = None,
+                 read_only: bool = False) -> None:
         self.root = Path(root)
+        self.read_only = read_only
         self.shards = shards or DEFAULT_SQLITE_SHARDS
         marker = self.root / SQLITE_MARKER
         if marker.is_file():
@@ -447,6 +473,11 @@ class SqliteBackend(StoreBackend):
             except (OSError, ValueError):
                 pass
         self._conns: Dict[int, sqlite3.Connection] = {}
+        #: Serialises all connection use: sqlite3 connections are not
+        #: thread-safe by themselves, but sharing them across threads is
+        #: fine when every operation holds this lock — which is what lets
+        #: a ThreadingHTTPServer (``repro serve``) share one backend.
+        self._lock = threading.RLock()
         #: Instrumentation: SELECT round-trips and write transactions —
         #: the conformance suite pins "one batched query per shard".
         self.select_queries = 0
@@ -482,9 +513,22 @@ class SqliteBackend(StoreBackend):
         if not create and not path.exists():
             return None
         if create:
+            self._check_writable()
             self._ensure_root()
+        if self.read_only:
+            # mode=ro: the connection itself cannot create or modify the
+            # database file, so read-only really is enforced by SQLite,
+            # not just by the _check_writable guards.
+            conn = sqlite3.connect(
+                f"file:{path}?mode=ro", uri=True,
+                timeout=SQLITE_BUSY_TIMEOUT_MS / 1000.0,
+                check_same_thread=False)
+            conn.execute(f"PRAGMA busy_timeout={SQLITE_BUSY_TIMEOUT_MS}")
+            self._conns[shard] = conn
+            return conn
         conn = sqlite3.connect(str(path),
-                               timeout=SQLITE_BUSY_TIMEOUT_MS / 1000.0)
+                               timeout=SQLITE_BUSY_TIMEOUT_MS / 1000.0,
+                               check_same_thread=False)
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute(f"PRAGMA busy_timeout={SQLITE_BUSY_TIMEOUT_MS}")
         conn.execute("PRAGMA synchronous=NORMAL")
@@ -495,12 +539,13 @@ class SqliteBackend(StoreBackend):
         return conn
 
     def close(self) -> None:
-        for conn in self._conns.values():
-            try:
-                conn.close()
-            except sqlite3.Error:      # pragma: no cover - defensive
-                pass
-        self._conns.clear()
+        with self._lock:
+            for conn in self._conns.values():
+                try:
+                    conn.close()
+                except sqlite3.Error:  # pragma: no cover - defensive
+                    pass
+            self._conns.clear()
 
     # -- payload <-> row ---------------------------------------------------
     @staticmethod
@@ -550,79 +595,89 @@ class SqliteBackend(StoreBackend):
         by_shard: Dict[int, List[str]] = {}
         for key in out:
             by_shard.setdefault(self.shard_of(key), []).append(key)
-        for shard, shard_keys in sorted(by_shard.items()):
-            conn = self._conn(shard)
-            if conn is None:
-                continue
-            for chunk in _chunks(shard_keys, _SQLITE_CHUNK):
-                marks = ",".join("?" for _ in chunk)
-                try:
-                    self.select_queries += 1
-                    rows = conn.execute(
-                        f"SELECT key, format, checksum, job, result, extra "
-                        f"FROM cells WHERE key IN ({marks})",
-                        tuple(chunk)).fetchall()
-                except sqlite3.Error as exc:
-                    for key in chunk:
-                        out[key] = CellRecord(
-                            key, REC_UNREADABLE,
-                            error=f"{type(exc).__name__}: {exc}")
+        with self._lock:
+            for shard, shard_keys in sorted(by_shard.items()):
+                conn = self._conn(shard)
+                if conn is None:
                     continue
-                for row in rows:
-                    out[row[0]] = self._record_of(*row)
+                for chunk in _chunks(shard_keys, _SQLITE_CHUNK):
+                    marks = ",".join("?" for _ in chunk)
+                    try:
+                        self.select_queries += 1
+                        rows = conn.execute(
+                            f"SELECT key, format, checksum, job, result, "
+                            f"extra FROM cells WHERE key IN ({marks})",
+                            tuple(chunk)).fetchall()
+                    except sqlite3.Error as exc:
+                        for key in chunk:
+                            out[key] = CellRecord(
+                                key, REC_UNREADABLE,
+                                error=f"{type(exc).__name__}: {exc}")
+                        continue
+                    for row in rows:
+                        out[row[0]] = self._record_of(*row)
         return out
 
     def all_keys(self) -> List[str]:
         keys: List[str] = []
-        for shard in range(self.shards):
-            conn = self._conn(shard)
-            if conn is None:
-                continue
-            try:
-                self.select_queries += 1
-                keys.extend(row[0] for row in
-                            conn.execute("SELECT key FROM cells"))
-            except sqlite3.Error:
-                continue
+        with self._lock:
+            for shard in range(self.shards):
+                conn = self._conn(shard)
+                if conn is None:
+                    continue
+                try:
+                    self.select_queries += 1
+                    keys.extend(row[0] for row in
+                                conn.execute("SELECT key FROM cells"))
+                except sqlite3.Error:
+                    continue
         return sorted(keys)
 
     # -- writes ------------------------------------------------------------
     def store_many(self, items: Sequence[Tuple[str, Dict[str, Any]]]) -> None:
+        self._check_writable()
         by_shard: Dict[int, List[tuple]] = {}
         for key, payload in items:
             row = self._row_of(_check_key(key), payload)
             by_shard.setdefault(self.shard_of(key), []).append(row)
-        for shard, rows in sorted(by_shard.items()):
-            conn = self._conn(shard, create=True)
-            with conn:
-                self.write_batches += 1
-                conn.executemany(
-                    "INSERT OR REPLACE INTO cells "
-                    "(key, format, checksum, job, result, extra) "
-                    "VALUES (?, ?, ?, ?, ?, ?)", rows)
+        with self._lock:
+            for shard, rows in sorted(by_shard.items()):
+                conn = self._conn(shard, create=True)
+                with conn:
+                    self.write_batches += 1
+                    conn.executemany(
+                        "INSERT OR REPLACE INTO cells "
+                        "(key, format, checksum, job, result, extra) "
+                        "VALUES (?, ?, ?, ?, ?, ?)", rows)
 
     def store(self, key: str, payload: Dict[str, Any]) -> None:
         self.store_many([(key, payload)])
 
     def store_raw(self, key: str, text: str) -> None:
-        conn = self._conn(self.shard_of(_check_key(key)), create=True)
-        with conn:
-            self.write_batches += 1
-            conn.execute(
-                "INSERT OR REPLACE INTO cells "
-                "(key, format, checksum, job, result, extra) "
-                "VALUES (?, NULL, NULL, NULL, NULL, ?)", (key, text))
+        self._check_writable()
+        with self._lock:
+            conn = self._conn(self.shard_of(_check_key(key)), create=True)
+            with conn:
+                self.write_batches += 1
+                conn.execute(
+                    "INSERT OR REPLACE INTO cells "
+                    "(key, format, checksum, job, result, extra) "
+                    "VALUES (?, NULL, NULL, NULL, NULL, ?)", (key, text))
 
     def delete(self, key: str) -> bool:
-        conn = self._conn(self.shard_of(_check_key(key)))
-        if conn is None:
-            return False
-        with conn:
-            cursor = conn.execute("DELETE FROM cells WHERE key = ?", (key,))
-        return cursor.rowcount > 0
+        self._check_writable()
+        with self._lock:
+            conn = self._conn(self.shard_of(_check_key(key)))
+            if conn is None:
+                return False
+            with conn:
+                cursor = conn.execute("DELETE FROM cells WHERE key = ?",
+                                      (key,))
+            return cursor.rowcount > 0
 
     # -- quarantine --------------------------------------------------------
     def quarantine(self, key: str) -> Optional[str]:
+        self._check_writable()
         record = self.fetch(key)
         if record.disposition in (REC_MISS, REC_UNREADABLE):
             return None
@@ -630,59 +685,69 @@ class SqliteBackend(StoreBackend):
             text = record.raw
         else:
             text = json.dumps(record.payload, sort_keys=True)
-        conn = self._conn(self.shard_of(key), create=True)
-        try:
-            with conn:
-                cursor = conn.execute(
-                    "INSERT INTO quarantine (key, payload, quarantined_at) "
-                    "VALUES (?, ?, ?)", (key, text, time.time()))
-                conn.execute("DELETE FROM cells WHERE key = ?", (key,))
-        except sqlite3.Error:          # pragma: no cover - locked shard
-            return None
-        return f"{self._db_path(self.shard_of(key))}#quarantine-{cursor.lastrowid}"
+        with self._lock:
+            conn = self._conn(self.shard_of(key), create=True)
+            try:
+                with conn:
+                    cursor = conn.execute(
+                        "INSERT INTO quarantine "
+                        "(key, payload, quarantined_at) "
+                        "VALUES (?, ?, ?)", (key, text, time.time()))
+                    conn.execute("DELETE FROM cells WHERE key = ?", (key,))
+            except sqlite3.Error:      # pragma: no cover - locked shard
+                return None
+            return (f"{self._db_path(self.shard_of(key))}"
+                    f"#quarantine-{cursor.lastrowid}")
 
     def quarantine_stats(self) -> Tuple[int, int]:
         cells = total = 0
-        for shard in range(self.shards):
-            conn = self._conn(shard)
-            if conn is None:
-                continue
-            try:
-                count, size = conn.execute(
-                    "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
-                    "FROM quarantine").fetchone()
-            except sqlite3.Error:      # pragma: no cover - locked shard
-                continue
-            cells += count
-            total += size
+        with self._lock:
+            for shard in range(self.shards):
+                conn = self._conn(shard)
+                if conn is None:
+                    continue
+                try:
+                    count, size = conn.execute(
+                        "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
+                        "FROM quarantine").fetchone()
+                except sqlite3.Error:  # pragma: no cover - locked shard
+                    continue
+                cells += count
+                total += size
         return cells, total
 
     def purge_quarantine(self) -> int:
+        self._check_writable()
         removed = 0
-        for shard in range(self.shards):
-            conn = self._conn(shard)
-            if conn is None:
-                continue
-            with conn:
-                removed += conn.execute("DELETE FROM quarantine").rowcount
+        with self._lock:
+            for shard in range(self.shards):
+                conn = self._conn(shard)
+                if conn is None:
+                    continue
+                with conn:
+                    removed += conn.execute(
+                        "DELETE FROM quarantine").rowcount
         return removed
 
     def clear(self) -> int:
+        self._check_writable()
         removed = 0
-        for shard in range(self.shards):
-            conn = self._conn(shard)
-            if conn is None:
-                continue
-            with conn:
-                removed += conn.execute("DELETE FROM cells").rowcount
-                conn.execute("DELETE FROM quarantine")
+        with self._lock:
+            for shard in range(self.shards):
+                conn = self._conn(shard)
+                if conn is None:
+                    continue
+                with conn:
+                    removed += conn.execute("DELETE FROM cells").rowcount
+                    conn.execute("DELETE FROM quarantine")
         return removed
 
 
 # ---------------------------------------------------------------------------
 # backend selection
 # ---------------------------------------------------------------------------
-def resolve_backend(root: Union[str, Path, None]) -> StoreBackend:
+def resolve_backend(root: Union[str, Path, None],
+                    read_only: bool = False) -> StoreBackend:
     """Build the backend for a store path or URI.
 
     Precedence: an explicit ``sqlite:``/``json:`` URI prefix, then the
@@ -703,9 +768,9 @@ def resolve_backend(root: Union[str, Path, None]) -> StoreBackend:
         else:
             kind = (os.environ.get(BACKEND_ENV_VAR) or "json").lower()
     if kind == "sqlite":
-        return SqliteBackend(path)
+        return SqliteBackend(path, read_only=read_only)
     if kind == "json":
-        return JsonFileBackend(path)
+        return JsonFileBackend(path, read_only=read_only)
     raise ValueError(f"unknown store backend {kind!r} "
                      f"(expected 'json' or 'sqlite'; "
                      f"check {BACKEND_ENV_VAR} or the store URI)")
@@ -819,13 +884,19 @@ class ResultStore:
     """
 
     def __init__(self, root: Union[str, Path, None] = None, *,
-                 backend: Optional[StoreBackend] = None) -> None:
+                 backend: Optional[StoreBackend] = None,
+                 read_only: bool = False) -> None:
         self.backend = backend if backend is not None \
-            else resolve_backend(root)
+            else resolve_backend(root, read_only=read_only)
 
     @property
     def root(self) -> Path:
         return self.backend.root
+
+    @property
+    def read_only(self) -> bool:
+        """Whether this store refuses writes (see ``read_only=True``)."""
+        return self.backend.read_only
 
     # ------------------------------------------------------------------
     # mapping-ish interface
@@ -1073,6 +1144,33 @@ class ResultStore:
         report.quarantined_cells, report.quarantine_bytes = \
             self.quarantine_stats()
         return report
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """Machine-readable store summary (one full scan).
+
+        The same payload serves ``python -m repro store stats --json``,
+        the serve layer's ``/v1/health`` endpoint and CI gates, so store
+        health never has to be scraped out of human-oriented text.
+        """
+        by_status = {CELL_OK: 0, CELL_STALE: 0, CELL_CORRUPT: 0,
+                     CELL_UNREADABLE: 0}
+        for _, status in self.scan():
+            if status in by_status:
+                by_status[status] += 1
+        quarantined, quarantine_bytes = self.quarantine_stats()
+        return {
+            "root": str(self.root),
+            "backend": self.backend.kind,
+            "read_only": self.read_only,
+            "cells": sum(by_status.values()),
+            "ok": by_status[CELL_OK],
+            "stale": by_status[CELL_STALE],
+            "corrupt": by_status[CELL_CORRUPT],
+            "unreadable": by_status[CELL_UNREADABLE],
+            "tmp_files": len(self.tmp_files()),
+            "quarantined_cells": quarantined,
+            "quarantine_bytes": quarantine_bytes,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ResultStore({str(self.root)!r}, "

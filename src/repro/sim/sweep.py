@@ -653,6 +653,62 @@ class _Supervisor:
 
 
 # ---------------------------------------------------------------------------
+# submission
+# ---------------------------------------------------------------------------
+@dataclass
+class Submission:
+    """Dedup'd description of a batch of jobs about to execute.
+
+    The store-dedup pass that used to live inline in :func:`run_jobs`,
+    extracted so other submitters — the serve layer's job queue, ad-hoc
+    tools — share the exact same semantics: one batched
+    :meth:`~repro.sim.store.ResultStore.probe_many` round-trip, corrupt
+    and stale cells treated as misses (the store self-heals), inline
+    designs bypassing the store entirely.
+    """
+
+    jobs: List[SweepJob]
+    #: ``cache_key()`` per job (``None`` for inline designs).
+    keys: List[Optional[str]]
+    #: Store hits, by job index.
+    cached: Dict[int, RunResult] = field(default_factory=dict)
+    #: Indices that still need simulating, in submission order.
+    pending: List[int] = field(default_factory=list)
+
+
+def prepare_submission(jobs: Sequence[SweepJob],
+                       store: Optional[object] = None) -> Submission:
+    """Probe ``store`` for every job and split hits from pending work.
+
+    When ``store`` is writable its orphaned tempfiles are reaped first
+    (interrupted-writer hygiene); a read-only store is probed as-is.
+    """
+    jobs = list(jobs)
+    submission = Submission(jobs=jobs, keys=[None] * len(jobs))
+    if store is not None and jobs:
+        # Reap tempfiles orphaned by a previously killed writer (no-op on
+        # read-only stores and backends without per-cell files).
+        store.reap_tmp()
+        for i, job in enumerate(jobs):
+            submission.keys[i] = job.cache_key()
+        # One batched dedup probe instead of a read per job: on the SQLite
+        # backend this is one indexed query per shard, so a warm
+        # paper-scale sweep starts in milliseconds.
+        probes = store.probe_many(
+            [k for k in submission.keys if k is not None])
+        for i, key in enumerate(submission.keys):
+            if key is not None:
+                status, hit = probes[key]
+                if status == CELL_OK:
+                    submission.cached[i] = hit
+                    continue
+            submission.pending.append(i)
+    else:
+        submission.pending = list(range(len(jobs)))
+    return submission
+
+
+# ---------------------------------------------------------------------------
 # execution
 # ---------------------------------------------------------------------------
 def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
@@ -694,32 +750,17 @@ def run_jobs(jobs: Sequence[SweepJob], *, workers: int = 1,
         timeout if timeout > 0 else None)
     backoff = default_backoff() if backoff is None else max(0.0, backoff)
 
-    jobs = list(jobs)
+    submission = prepare_submission(jobs, store)
+    jobs = submission.jobs
     results: List[Optional[RunResult]] = [None] * len(jobs)
-    keys: List[Optional[str]] = [None] * len(jobs)
+    keys = submission.keys
     failures: Dict[int, JobFailure] = {}
     attempts = 0
 
-    pending: List[int] = []
-    cached = 0
-    probes: Dict[str, Tuple[str, Optional[RunResult]]] = {}
-    if store is not None and jobs:
-        # Reap tempfiles orphaned by a previously killed writer.
-        store.reap_tmp()
-        for i, job in enumerate(jobs):
-            keys[i] = job.cache_key()
-        # One batched dedup probe instead of a read per job: on the SQLite
-        # backend this is one indexed query per shard, so a warm
-        # paper-scale sweep starts in milliseconds.
-        probes = store.probe_many([k for k in keys if k is not None])
-    for i, job in enumerate(jobs):
-        if keys[i] is not None:
-            status, hit = probes[keys[i]]
-            if status == CELL_OK:
-                results[i] = hit
-                cached += 1
-                continue
-        pending.append(i)
+    for i, hit in submission.cached.items():
+        results[i] = hit
+    cached = len(submission.cached)
+    pending = submission.pending
 
     parallel: List[int] = []
     serial: List[int] = []

@@ -1,0 +1,423 @@
+"""Tests for the results-serving layer (``repro.serve``).
+
+Covers the transport-agnostic app (routing, response cache, ETags, job
+queue) and one true end-to-end pass over a real
+``ThreadingHTTPServer``: POST a job against an empty store, long-poll
+its events to completion, GET the produced cell and its SVG chart,
+verify dedup (a repeated identical POST must not simulate again) and
+conditional-request ``304`` behaviour.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import package_version
+from repro.cli import main
+from repro.report.artifacts import write_artifact
+from repro.report.registry import BenchResult, Table, get_bench
+from repro.serve import JobSpecError, ResponseCache, ServeApp, make_server
+from repro.serve.respcache import CacheEntry, etag_of
+from repro.serve.router import Router
+from repro.sim.store import ResultStore
+
+REFS = 300
+JOB = {"design": "HYBRID2", "workload": "mcf", "refs": REFS,
+       "scale": 1024}
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def make_app(tmp_path, **kwargs):
+    kwargs.setdefault("artifacts_dir", tmp_path / "artifacts")
+    return ServeApp(tmp_path / "store", **kwargs)
+
+
+def body_of(response):
+    return json.loads(response.body.decode())
+
+
+def wait_terminal(app, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    after = 0
+    names = []
+    while time.monotonic() < deadline:
+        record, events = app.queue.wait_events(job_id, after=after,
+                                               timeout=2.0)
+        names.extend(e["event"] for e in events)
+        after = max([e["seq"] for e in events], default=after)
+        if record.status in ("done", "failed", "cached"):
+            return record, names
+    raise AssertionError(f"job {job_id} never finished")
+
+
+# ---------------------------------------------------------------------------
+# router
+# ---------------------------------------------------------------------------
+def test_router_distinguishes_404_from_405():
+    router = Router()
+    router.get(r"/x/(?P<name>\w+)", lambda *a: "get")
+    router.post(r"/x/(?P<name>\w+)", lambda *a: "post")
+    hit = router.match("GET", "/x/abc")
+    assert hit.found and hit.params == {"name": "abc"}
+    miss = router.match("GET", "/nope")
+    assert not miss.found and miss.allowed == ()
+    wrong = router.match("DELETE", "/x/abc")
+    assert not wrong.found and set(wrong.allowed) == {"GET", "POST"}
+    # Patterns are anchored: a suffix must not match.
+    assert not router.match("GET", "/x/abc/extra").found
+
+
+# ---------------------------------------------------------------------------
+# response cache
+# ---------------------------------------------------------------------------
+def test_respcache_lru_eviction_and_stats():
+    cache = ResponseCache(capacity=2)
+    for path in ("/a", "/b", "/c"):
+        cache.put(path, CacheEntry(body=path.encode(), content_type="t",
+                                   etag=etag_of(path.encode())))
+    assert len(cache) == 2
+    assert cache.get("/a") is None          # evicted, oldest first
+    assert cache.get("/c").body == b"/c"
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_respcache_source_revalidation(tmp_path):
+    from repro.serve.respcache import source_sig
+
+    source = tmp_path / "artifact.json"
+    source.write_text("one")
+    cache = ResponseCache()
+    cache.put("/p", CacheEntry(body=b"one", content_type="t",
+                               etag='"x"',
+                               sources=(source_sig(str(source)),)))
+    assert cache.get("/p") is not None
+    source.write_text("two!")               # size changed -> sig changed
+    assert cache.get("/p") is None
+    assert cache.stats.revalidation_evictions == 1
+
+
+def test_respcache_absent_source_invalidates_on_appearance(tmp_path):
+    from repro.serve.respcache import source_sig
+
+    source = tmp_path / "later.json"
+    cache = ResponseCache()
+    cache.put("/p", CacheEntry(body=b"none", content_type="t",
+                               etag='"x"',
+                               sources=(source_sig(str(source)),)))
+    assert cache.get("/p") is not None
+    source.write_text("now it exists")
+    assert cache.get("/p") is None
+
+
+# ---------------------------------------------------------------------------
+# app-level read path
+# ---------------------------------------------------------------------------
+def test_health_and_version_header(tmp_path):
+    app = make_app(tmp_path)
+    try:
+        response = app.handle("GET", "/v1/health")
+        assert response.status == 200
+        assert response.headers["X-Repro-Version"] == package_version()
+        payload = body_of(response)
+        assert payload["status"] == "ok"
+        assert payload["store"]["cells"] == 0
+        assert payload["jobs"]["workers"] == 1
+    finally:
+        app.close()
+
+
+def test_listings_and_errors(tmp_path):
+    app = make_app(tmp_path)
+    try:
+        designs = body_of(app.handle("GET", "/v1/designs"))["designs"]
+        assert {d["name"] for d in designs} >= {"HYBRID2", "BASELINE"}
+        workloads = body_of(
+            app.handle("GET", "/v1/workloads?class=high"))["workloads"]
+        assert len(workloads) == 10
+        assert app.handle("GET", "/v1/workloads?class=nope").status == 400
+        benches = body_of(app.handle("GET", "/v1/benches"))["benches"]
+        assert len(benches) >= 13
+        assert app.handle("GET", "/v1/nope").status == 404
+        method = app.handle("DELETE", "/v1/designs")
+        assert method.status == 405 and "GET" in method.headers["Allow"]
+    finally:
+        app.close()
+
+
+def test_listings_share_schema_with_cli_json(tmp_path, capsys):
+    app = make_app(tmp_path)
+    try:
+        assert main(["designs", "--json"]) == 0
+        cli_designs = json.loads(capsys.readouterr().out)
+        assert cli_designs == body_of(app.handle("GET", "/v1/designs"))
+        assert main(["workloads", "--json"]) == 0
+        cli_workloads = json.loads(capsys.readouterr().out)
+        assert cli_workloads == body_of(app.handle("GET", "/v1/workloads"))
+    finally:
+        app.close()
+
+
+def test_bench_detail_and_artifact(tmp_path):
+    app = make_app(tmp_path)
+    try:
+        spec = get_bench("fig12")
+        detail = body_of(app.handle("GET", "/v1/benches/fig12"))
+        assert detail["name"] == "fig12"
+        assert detail["artifact"] is None
+        assert detail["expectations"], "bench slices carry expectations"
+        assert app.handle("GET", "/v1/benches/nope").status == 404
+
+        # Generating the artifact invalidates the cached response even
+        # though the path is unchanged (absent-source fingerprint).
+        result = BenchResult(name=spec.slug, tables=[
+            Table(title="t", columns=["k", "v"], rows=[["a", 1.0]],
+                  slug="t", chart="bar")])
+        write_artifact(spec, result, [], {}, tmp_path / "artifacts")
+        detail = body_of(app.handle("GET", "/v1/benches/fig12"))
+        assert detail["artifact"]["bench"] == "fig12"
+
+        chart = app.handle("GET", "/v1/charts/fig12.svg")
+        assert chart.status == 200
+        assert chart.content_type == "image/svg+xml"
+        assert chart.body.startswith(b"<svg")
+        assert app.handle("GET", "/v1/charts/fig15.svg").status == 404
+    finally:
+        app.close()
+
+
+def test_etag_roundtrip_cold_200_then_304(tmp_path):
+    app = make_app(tmp_path)
+    try:
+        cold = app.handle("GET", "/v1/designs")
+        assert cold.status == 200
+        etag = cold.headers["ETag"]
+        warm = app.handle("GET", "/v1/designs",
+                          headers={"If-None-Match": etag})
+        assert warm.status == 304 and warm.body == b""
+        assert warm.headers["ETag"] == etag
+        mismatch = app.handle("GET", "/v1/designs",
+                              headers={"If-None-Match": '"other"'})
+        assert mismatch.status == 200
+        assert app.cache.stats.hits >= 2
+    finally:
+        app.close()
+
+
+def test_cell_miss_and_malformed_key(tmp_path):
+    app = make_app(tmp_path)
+    try:
+        missing = app.handle("GET", f"/v1/cells/{'0' * 64}")
+        assert missing.status == 404
+        assert body_of(missing)["status"] == "miss"
+        # Not 64-hex: no route matches at all.
+        assert app.handle("GET", "/v1/cells/abc").status == 404
+    finally:
+        app.close()
+
+
+# ---------------------------------------------------------------------------
+# write path (app level)
+# ---------------------------------------------------------------------------
+def test_job_submit_validation(tmp_path):
+    app = make_app(tmp_path)
+    try:
+        bad = app.handle("POST", "/v1/jobs", body=b"not json")
+        assert bad.status == 400
+        unknown = app.handle(
+            "POST", "/v1/jobs",
+            body=json.dumps({"design": "NOPE", "workload": "mcf"}).encode())
+        assert unknown.status == 400
+        assert "NOPE" in body_of(unknown)["error"]
+        with pytest.raises(JobSpecError):
+            app.queue.submit({"design": "HYBRID2", "workload": "mcf",
+                              "refs": 10 ** 9})
+        with pytest.raises(JobSpecError):
+            app.queue.submit({"design": "HYBRID2", "workload": "mcf",
+                              "bogus_field": 1})
+    finally:
+        app.close()
+
+
+def test_read_only_server_disables_write_path(tmp_path):
+    (tmp_path / "store").mkdir()
+    app = make_app(tmp_path, read_only=True)
+    try:
+        assert app.queue is None
+        refused = app.handle("POST", "/v1/jobs",
+                             body=json.dumps(JOB).encode())
+        assert refused.status == 403
+        assert body_of(app.handle("GET", "/v1/jobs"))["read_only"]
+        assert app.handle("GET", "/v1/jobs/job-0001").status == 404
+        assert body_of(app.handle("GET", "/v1/health"))["read_only"]
+    finally:
+        app.close()
+
+
+def test_job_cached_submission_after_store_hit(tmp_path):
+    app = make_app(tmp_path)
+    try:
+        record, deduped = app.queue.submit(JOB)
+        assert not deduped
+        record, _ = wait_terminal(app, record.id)
+        assert record.status == "done" and record.simulated == 1
+        assert app.queue.sim_count == 1
+    finally:
+        app.close()
+    # A fresh app over the same store dedups against the *store*.
+    app = make_app(tmp_path)
+    try:
+        record, deduped = app.queue.submit(JOB)
+        assert deduped and record.status == "cached"
+        assert record.result["workload"] == "mcf"
+        assert app.queue.sim_count == 0
+    finally:
+        app.close()
+
+
+# ---------------------------------------------------------------------------
+# end to end over real HTTP
+# ---------------------------------------------------------------------------
+def _get(base, path, headers=None):
+    request = urllib.request.Request(base + path, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def _post(base, path, payload):
+    request = urllib.request.Request(
+        base + path, method="POST", data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.mark.slow
+def test_service_end_to_end(tmp_path):
+    """Empty store -> POST job -> events to completion -> cell + chart."""
+    app = make_app(tmp_path)
+    server = make_server(app, "127.0.0.1", 0)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        status, _, body = _get(base, "/v1/health")
+        assert status == 200
+        assert json.loads(body)["store"]["cells"] == 0
+
+        status, submitted = _post(base, "/v1/jobs", JOB)
+        assert status == 202 and not submitted["deduped"]
+        job_id = submitted["job"]["id"]
+
+        after, names, job_status = 0, [], None
+        deadline = time.monotonic() + 90
+        while time.monotonic() < deadline:
+            status, _, body = _get(
+                base, f"/v1/jobs/{job_id}/events?after={after}&wait=5")
+            assert status == 200
+            events = json.loads(body)
+            names += [e["event"] for e in events["events"]]
+            after = events["next"]
+            job_status = events["status"]
+            if job_status in ("done", "failed", "cached"):
+                break
+        assert job_status == "done", names
+        assert names[:2] == ["queued", "started"]
+        assert names[-1] == "finished"
+
+        status, detail = _get(base, f"/v1/jobs/{job_id}")[0], None
+        status, _, body = _get(base, f"/v1/jobs/{job_id}")
+        detail = json.loads(body)["job"]
+        key = detail["key"]
+        assert detail["simulated"] == 1
+
+        # The produced cell and its chart.
+        status, headers, body = _get(base, f"/v1/cells/{key}")
+        assert status == 200
+        cell = json.loads(body)
+        assert cell["status"] == "ok"
+        assert cell["result"]["workload"] == "mcf"
+        assert cell["checksum"]
+        etag = headers["ETag"]
+        status, headers, body = _get(base, f"/v1/cells/{key}",
+                                     {"If-None-Match": etag})
+        assert status == 304 and body == b""
+
+        status, headers, body = _get(base, f"/v1/charts/{key}.svg")
+        assert status == 200
+        assert headers["Content-Type"].startswith("image/svg+xml")
+        assert body.startswith(b"<svg")
+
+        # A repeated identical POST is deduped: same job, no second
+        # simulation (pinned by the queue's sim counter).
+        status, duplicate = _post(base, "/v1/jobs", JOB)
+        assert status == 200 and duplicate["deduped"]
+        assert duplicate["job"]["id"] == job_id
+        assert app.queue.sim_count == 1
+
+        status, _, body = _get(base, "/v1/cells")
+        listed = json.loads(body)
+        assert listed["total"] == 1 and listed["keys"] == [key]
+    finally:
+        server.shutdown()
+        thread.join(timeout=5.0)
+        server.server_close()
+        app.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert f"repro {package_version()}" in capsys.readouterr().out
+
+
+def test_store_stats_json(tmp_path, capsys):
+    store = ResultStore(tmp_path / "store")
+    assert main(["store", "stats", "--json",
+                 "--store", str(store.root)]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["cells"] == 0 and stats["backend"] == "json"
+    assert main(["store", "fsck", "--json",
+                 "--store", str(store.root)]) == 0
+    fsck = json.loads(capsys.readouterr().out)
+    assert fsck["clean"] and fsck["scanned"] == 0
+    assert main(["store", "migrate", "--json", "--store", str(store.root),
+                 "--dest", f"sqlite:{tmp_path / 'dest'}"]) == 0
+    migrate = json.loads(capsys.readouterr().out)
+    assert migrate["verified"] and migrate["migrated"] == 0
+
+
+@pytest.mark.slow
+def test_serve_bench_cli(tmp_path, capsys):
+    import pathlib
+
+    baseline = (pathlib.Path(__file__).resolve().parents[1]
+                / "benchmarks" / "results" / "BENCH_serve_baseline.json")
+    out = tmp_path / "BENCH_serve.json"
+    code = main(["serve-bench", "--store", str(tmp_path / "store"),
+                 "--artifacts", str(tmp_path / "artifacts"),
+                 "--warm", "2", "--out", str(out),
+                 "--baseline", str(baseline)])
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    payload = json.loads(out.read_text())
+    assert payload["errors"] == 0
+    assert payload["warm_304_ratio"] == 1.0
+    assert "/v1/designs" in payload["endpoints"]
+    assert "no structural regression" in captured.out
